@@ -1,0 +1,53 @@
+# Build, test and experiment targets for the vsp repository.
+
+GO ?= go
+BIN := bin
+
+.PHONY: all build test vet bench race soak cover figures results examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+	mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/ ./cmd/...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/experiment/ ./internal/scheduler/ ./internal/sorp/ ./internal/server/ .
+
+soak:
+	$(GO) test -tags soak -run TestSoak -v .
+
+cover:
+	$(GO) test -cover ./internal/... .
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper figure/table as text (see EXPERIMENTS.md).
+results: build
+	$(BIN)/vspexp -exp all -scale paper -repeats 3
+
+# Regenerate the figures as SVG charts under figures/.
+figures: build
+	mkdir -p figures
+	for f in fig5 fig6 fig7 fig8 fig9 fig-online fig-replication fig-locality; do \
+		$(BIN)/vspexp -exp $$f -scale paper -repeats 3 -format svg -out figures; \
+	done
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/metro-vod
+	$(GO) run ./examples/heat-metrics
+	$(GO) run ./examples/capacity-planning
+	$(GO) run ./examples/trace-replay
+	$(GO) run ./examples/replication
+
+clean:
+	rm -rf $(BIN) figures

@@ -1,0 +1,154 @@
+// Command vspgen generates the JSON artifacts the other tools consume:
+// service topologies, video catalogs and reservation workloads.
+//
+// Usage:
+//
+//	vspgen -kind topology -gen metro -storages 19 -users 10 -capacity-gb 5 > topo.json
+//	vspgen -kind catalog -titles 500 -mean-gb 3.3 > catalog.json
+//	vspgen -kind workload -topo topo.json -catalog catalog.json -alpha 0.271 > requests.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "topology", "what to generate: topology | catalog | workload")
+		gen        = flag.String("gen", "metro", "topology generator: metro | star | chain | tree | ring | random")
+		storages   = flag.Int("storages", 19, "number of intermediate storages")
+		users      = flag.Int("users", 10, "users per neighborhood")
+		capacityGB = flag.Float64("capacity-gb", 5, "per-storage capacity (GB)")
+		fanout     = flag.Int("fanout", 2, "tree fanout (tree generator)")
+		extraEdges = flag.Int("extra-edges", 6, "extra links (random generator)")
+		titles     = flag.Int("titles", 500, "catalog size")
+		meanGB     = flag.Float64("mean-gb", 3.3, "mean title size (GB)")
+		topoPath   = flag.String("topo", "", "topology JSON (workload)")
+		catPath    = flag.String("catalog", "", "catalog JSON (workload)")
+		alpha      = flag.Float64("alpha", 0.271, "Zipf skew (workload)")
+		windowH    = flag.Int("window-hours", 12, "reservation window (workload)")
+		rpu        = flag.Int("rpu", 1, "requests per user (workload)")
+		arrival    = flag.String("arrival", "uniform", "arrival process: uniform | peak | slotted")
+		seed       = flag.Int64("seed", 1997, "RNG seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *kind, *gen, *storages, *users, *capacityGB, *fanout, *extraEdges,
+		*titles, *meanGB, *topoPath, *catPath, *alpha, *windowH, *rpu, *arrival, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "vspgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind, gen string, storages, users int, capacityGB float64, fanout, extraEdges,
+	titles int, meanGB float64, topoPath, catPath string, alpha float64,
+	windowH, rpu int, arrival string, seed int64) error {
+
+	switch kind {
+	case "topology":
+		cfg := topology.GenConfig{
+			Storages:        storages,
+			UsersPerStorage: users,
+			Capacity:        units.GBf(capacityGB),
+		}
+		var topo *topology.Topology
+		switch gen {
+		case "metro":
+			topo = topology.Metro(cfg, seed)
+		case "star":
+			topo = topology.Star(cfg)
+		case "chain":
+			topo = topology.Chain(cfg)
+		case "tree":
+			topo = topology.Tree(cfg, fanout)
+		case "ring":
+			topo = topology.Ring(cfg)
+		case "random":
+			topo = topology.Random(cfg, extraEdges, seed)
+		default:
+			return fmt.Errorf("unknown topology generator %q", gen)
+		}
+		st := topo.ComputeStats()
+		fmt.Fprintf(os.Stderr, "vspgen: %d nodes, %d links, %d users; diameter %d hops, avg VW distance %.1f\n",
+			st.Nodes, st.Links, st.Users, st.Diameter, st.AvgHops)
+		return topo.Encode(w)
+
+	case "catalog":
+		cat, err := media.Generate(media.GenConfig{
+			Titles:   titles,
+			MeanSize: units.GBf(meanGB),
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		return cat.Encode(w)
+
+	case "workload":
+		if topoPath == "" || catPath == "" {
+			return fmt.Errorf("workload generation needs -topo and -catalog")
+		}
+		topo, err := loadTopology(topoPath)
+		if err != nil {
+			return err
+		}
+		cat, err := loadCatalog(catPath)
+		if err != nil {
+			return err
+		}
+		var arr workload.Arrival
+		switch arrival {
+		case "uniform":
+			arr = workload.Uniform
+		case "peak":
+			arr = workload.EveningPeak
+		case "slotted":
+			arr = workload.Slotted
+		default:
+			return fmt.Errorf("unknown arrival %q", arrival)
+		}
+		set, err := workload.Generate(topo, cat, workload.Config{
+			Alpha:           alpha,
+			Window:          simtime.Duration(windowH) * simtime.Hour,
+			RequestsPerUser: rpu,
+			Arrival:         arr,
+			Seed:            seed,
+		})
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(set)
+
+	default:
+		return fmt.Errorf("unknown kind %q (topology | catalog | workload)", kind)
+	}
+}
+
+func loadTopology(path string) (*topology.Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return topology.Decode(f)
+}
+
+func loadCatalog(path string) (*media.Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return media.Decode(f)
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+func genTopology(t *testing.T, gen string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(&sb, "topology", gen, 5, 3, 8, 2, 4, 0, 0, "", "", 0, 0, 0, "", 7); err != nil {
+		t.Fatalf("run topology %s: %v", gen, err)
+	}
+	return sb.String()
+}
+
+func TestGenerateTopologies(t *testing.T) {
+	for _, gen := range []string{"metro", "star", "chain", "tree", "ring", "random"} {
+		out := genTopology(t, gen)
+		topo, err := topology.Decode(strings.NewReader(out))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", gen, err)
+		}
+		if topo.NumStorages() != 5 || topo.NumUsers() != 15 {
+			t.Errorf("%s: %d storages, %d users", gen, topo.NumStorages(), topo.NumUsers())
+		}
+	}
+	var sb strings.Builder
+	if err := run(&sb, "topology", "bogus", 5, 3, 8, 2, 4, 0, 0, "", "", 0, 0, 0, "", 7); err == nil {
+		t.Error("expected unknown generator error")
+	}
+}
+
+func TestGenerateCatalog(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "catalog", "", 0, 0, 0, 0, 0, 25, 3.3, "", "", 0, 0, 0, "", 7); err != nil {
+		t.Fatalf("run catalog: %v", err)
+	}
+	var videos []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &videos); err != nil {
+		t.Fatal(err)
+	}
+	if len(videos) != 25 {
+		t.Errorf("titles = %d", len(videos))
+	}
+}
+
+func TestGenerateWorkloadFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	topoP := filepath.Join(dir, "topo.json")
+	if err := os.WriteFile(topoP, []byte(genTopology(t, "star")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var catBuf strings.Builder
+	if err := run(&catBuf, "catalog", "", 0, 0, 0, 0, 0, 10, 3.3, "", "", 0, 0, 0, "", 7); err != nil {
+		t.Fatal(err)
+	}
+	catP := filepath.Join(dir, "catalog.json")
+	if err := os.WriteFile(catP, []byte(catBuf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, arrival := range []string{"uniform", "peak", "slotted"} {
+		var sb strings.Builder
+		if err := run(&sb, "workload", "", 0, 0, 0, 0, 0, 0, 0, topoP, catP, 0.271, 6, 2, arrival, 7); err != nil {
+			t.Fatalf("workload %s: %v", arrival, err)
+		}
+		var set workload.Set
+		if err := json.Unmarshal([]byte(sb.String()), &set); err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != 30 { // 15 users × 2 rpu
+			t.Errorf("%s: requests = %d", arrival, len(set))
+		}
+	}
+	var sb strings.Builder
+	if err := run(&sb, "workload", "", 0, 0, 0, 0, 0, 0, 0, topoP, catP, 0.271, 6, 1, "bogus", 7); err == nil {
+		t.Error("expected unknown arrival error")
+	}
+	if err := run(&sb, "workload", "", 0, 0, 0, 0, 0, 0, 0, "", "", 0.271, 6, 1, "uniform", 7); err == nil {
+		t.Error("expected missing-paths error")
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "bogus", "", 0, 0, 0, 0, 0, 0, 0, "", "", 0, 0, 0, "", 7); err == nil {
+		t.Error("expected unknown kind error")
+	}
+}

@@ -1,0 +1,58 @@
+// Command vspserve runs the Video-On-Reservation scheduling service over
+// HTTP for a fixed infrastructure.
+//
+// Usage:
+//
+//	vspserve -topo topo.json -catalog catalog.json -srate 5 -nrate 500 -addr :8080
+//
+// then:
+//
+//	curl -s localhost:8080/v1/topology
+//	curl -s -X POST localhost:8080/v1/schedule \
+//	     -d '{"requests":[{"User":0,"Video":3,"Start":3600}]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/vodsim/vsp/internal/cli"
+	"github.com/vodsim/vsp/internal/server"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topo", "", "topology JSON (required)")
+		catPath  = flag.String("catalog", "", "catalog JSON (required)")
+		srate    = flag.Float64("srate", 5, "storage charging rate ($/GB·hour)")
+		nrate    = flag.Float64("nrate", 500, "network charging rate ($/GB)")
+		addr     = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *topoPath == "" || *catPath == "" {
+		fmt.Fprintln(os.Stderr, "vspserve: -topo and -catalog are required")
+		os.Exit(1)
+	}
+	topo, err := cli.LoadTopology(*topoPath)
+	if err != nil {
+		log.Fatalf("vspserve: %v", err)
+	}
+	cat, err := cli.LoadCatalog(*catPath)
+	if err != nil {
+		log.Fatalf("vspserve: %v", err)
+	}
+	model := cli.BuildModel(topo, cat, *srate, *nrate)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      server.New(model),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 120 * time.Second,
+	}
+	log.Printf("vspserve: %d storages, %d users, %d titles; listening on %s",
+		topo.NumStorages(), topo.NumUsers(), cat.Len(), *addr)
+	log.Fatal(srv.ListenAndServe())
+}

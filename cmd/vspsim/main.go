@@ -1,0 +1,118 @@
+// Command vspsim executes a service schedule on the event-driven simulator
+// and reports feasibility and independently derived costs.
+//
+// Usage:
+//
+//	vspsim -topo topo.json -catalog catalog.json -schedule schedule.json \
+//	       -requests requests.json -srate 5 -nrate 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/vodsim/vsp/internal/audit"
+	"github.com/vodsim/vsp/internal/cli"
+	"github.com/vodsim/vsp/internal/vodsim"
+)
+
+func main() {
+	var (
+		topoPath  = flag.String("topo", "", "topology JSON (required)")
+		catPath   = flag.String("catalog", "", "catalog JSON (required)")
+		schedPath = flag.String("schedule", "", "schedule JSON (required)")
+		reqPath   = flag.String("requests", "", "requests JSON (optional; validates coverage)")
+		srate     = flag.Float64("srate", 5, "storage charging rate ($/GB·hour)")
+		nrate     = flag.Float64("nrate", 500, "network charging rate ($/GB)")
+		verbose   = flag.Bool("v", false, "print per-link and per-node usage")
+		auditFlag = flag.Bool("audit", false, "run the full audit bundle (validation, capacity, cost triangle, billing)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *topoPath, *catPath, *schedPath, *reqPath, *srate, *nrate, *verbose, *auditFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "vspsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, topoPath, catPath, schedPath, reqPath string, srate, nrate float64, verbose, auditRun bool) error {
+	if topoPath == "" || catPath == "" || schedPath == "" {
+		return fmt.Errorf("-topo, -catalog and -schedule are required")
+	}
+	topo, err := cli.LoadTopology(topoPath)
+	if err != nil {
+		return err
+	}
+	cat, err := cli.LoadCatalog(catPath)
+	if err != nil {
+		return err
+	}
+	sched, err := cli.LoadSchedule(schedPath)
+	if err != nil {
+		return err
+	}
+	model := cli.BuildModel(topo, cat, srate, nrate)
+	if reqPath != "" {
+		reqs, err := cli.LoadRequests(reqPath)
+		if err != nil {
+			return err
+		}
+		if err := sched.Validate(topo, cat, reqs); err != nil {
+			return fmt.Errorf("schedule validation: %w", err)
+		}
+		fmt.Fprintf(w, "validation        ok (%d requests)\n", len(reqs))
+	}
+	rep := vodsim.Execute(model.Book(), cat, sched)
+	fmt.Fprintf(w, "streams           %d\n", rep.Streams)
+	fmt.Fprintf(w, "cache loads       %d\n", rep.CacheLoads)
+	fmt.Fprintf(w, "violations        %d\n", len(rep.Violations))
+	for i, v := range rep.Violations {
+		if i >= 10 {
+			fmt.Fprintf(w, "  ... %d more\n", len(rep.Violations)-10)
+			break
+		}
+		fmt.Fprintf(w, "  %v\n", v)
+	}
+	fmt.Fprintf(w, "simulated cost    %v (network %v + storage %v)\n",
+		rep.TotalCost(), rep.NetworkCost, rep.StorageCost)
+	analytic := model.ScheduleCost(sched)
+	fmt.Fprintf(w, "analytic Ψ(S)     %v\n", analytic)
+	if !rep.TotalCost().ApproxEqual(analytic, 1e-3) {
+		fmt.Fprintf(w, "WARNING: simulated and analytic costs disagree\n")
+	}
+	if verbose {
+		fmt.Fprintln(w, "links:")
+		for _, lu := range rep.Links {
+			e := topo.Edge(lu.Edge)
+			fmt.Fprintf(w, "  %s--%s  %v  peak %d streams (%v)\n",
+				topo.Node(e.A).Name, topo.Node(e.B).Name, lu.Bytes, lu.PeakStreams, lu.PeakRate)
+		}
+		fmt.Fprintln(w, "storages:")
+		for _, nu := range rep.Nodes {
+			fmt.Fprintf(w, "  %-6s peak %.2f GB, %.3g GB·h\n",
+				topo.Node(nu.Node).Name, nu.PeakReserved/1e9, nu.ByteSeconds/1e9/3600)
+		}
+	}
+	if auditRun {
+		if reqPath == "" {
+			return fmt.Errorf("-audit needs -requests (coverage is part of the audit)")
+		}
+		reqs, err := cli.LoadRequestsAuto(reqPath, topo, cat)
+		if err != nil {
+			return err
+		}
+		arep := audit.Run(model, sched, reqs)
+		fmt.Fprintf(w, "audit             %d finding(s)\n", len(arep.Findings))
+		for _, fd := range arep.Findings {
+			fmt.Fprintf(w, "  %v\n", fd)
+		}
+		if !arep.OK() {
+			return fmt.Errorf("audit failed with %d finding(s)", len(arep.Findings))
+		}
+	}
+	if !rep.OK() {
+		return fmt.Errorf("%d violations", len(rep.Violations))
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/cli"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/scheduler"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+func fixtures(t *testing.T) (topoP, catP, reqP, schedP string) {
+	t.Helper()
+	dir := t.TempDir()
+	topo := topology.Star(topology.GenConfig{Storages: 3, UsersPerStorage: 2, Capacity: 10 * units.GB})
+	cat, err := media.Uniform(4, units.GBf(2.5), 90*simtime.Minute, units.Mbps(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.Generate(topo, cat, workload.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cli.BuildModel(topo, cat, 2, 400)
+	out, err := scheduler.Run(model, reqs, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoP = filepath.Join(dir, "topo.json")
+	f, _ := os.Create(topoP)
+	if err := topo.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	catP = filepath.Join(dir, "catalog.json")
+	f, _ = os.Create(catP)
+	if err := cat.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reqP = filepath.Join(dir, "requests.json")
+	if err := cli.SaveJSON(reqP, reqs); err != nil {
+		t.Fatal(err)
+	}
+	schedP = filepath.Join(dir, "schedule.json")
+	if err := cli.SaveJSON(schedP, out.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestSimulateCleanSchedule(t *testing.T) {
+	topoP, catP, reqP, schedP := fixtures(t)
+	var sb strings.Builder
+	if err := run(&sb, topoP, catP, schedP, reqP, 2, 400, true, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"validation        ok", "violations        0", "simulated cost", "links:", "storages:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Error("cost mismatch warning on a clean schedule")
+	}
+}
+
+func TestSimulateWithoutRequests(t *testing.T) {
+	topoP, catP, _, schedP := fixtures(t)
+	var sb strings.Builder
+	if err := run(&sb, topoP, catP, schedP, "", 2, 400, false, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(sb.String(), "validation") {
+		t.Error("validation line present without -requests")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	topoP, catP, reqP, schedP := fixtures(t)
+	var sb strings.Builder
+	if err := run(&sb, "", catP, schedP, reqP, 2, 400, false, false); err == nil {
+		t.Error("expected missing-flag error")
+	}
+	// Wrong requests file (mismatched coverage) must fail validation: use
+	// the schedule file as the "requests" (decode error).
+	if err := run(&sb, topoP, catP, schedP, filepath.Join(t.TempDir(), "none.json"), 2, 400, false, false); err == nil {
+		t.Error("expected load error")
+	}
+}

@@ -1,0 +1,94 @@
+package vsp_test
+
+import (
+	"fmt"
+	"log"
+
+	vsp "github.com/vodsim/vsp"
+)
+
+// Example reproduces the paper's Fig. 2 worked example: three users, two
+// intermediate storages, one movie — and shows the scheduler beating both
+// enumerated schedules of the paper.
+func Example() {
+	b := vsp.NewTopology()
+	vw := b.Warehouse("VW")
+	is1 := b.Storage("IS1", vsp.GB(10))
+	is2 := b.Storage("IS2", vsp.GB(10))
+	b.Connect(vw, is1)
+	b.Connect(is1, is2)
+	b.AttachUsers(is1, 1)
+	b.AttachUsers(is2, 2)
+	topo, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	catalog, err := vsp.UniformCatalog(1, vsp.GB(2.5), 90*vsp.Minute, vsp.Mbps(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := vsp.NewSystem(topo, catalog, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's rates: 0.2 and 0.1 cents per megabit on the two links,
+	// $1/GB·hour at both storages.
+	centsPerMbit := func(c float64) vsp.NRate { return vsp.NRate(c / 100 * 8 / 1e6) }
+	e01, _ := topo.EdgeBetween(vw, is1)
+	e12, _ := topo.EdgeBetween(is1, is2)
+	sys.SetLinkRate(e01, centsPerMbit(0.2))
+	sys.SetLinkRate(e12, centsPerMbit(0.1))
+	if err := sys.SetStorageRate(is1, vsp.PerGBHour(1)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SetStorageRate(is2, vsp.PerGBHour(1)); err != nil {
+		log.Fatal(err)
+	}
+
+	reqs := vsp.RequestSet{
+		{User: 0, Video: 0, Start: 0},                          // 1:00 pm
+		{User: 1, Video: 0, Start: vsp.Time(90 * vsp.Minute)},  // 2:30 pm
+		{User: 2, Video: 0, Start: vsp.Time(180 * vsp.Minute)}, // 4:00 pm
+	}
+	out, err := sys.Schedule(reqs, vsp.SchedulerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := sys.ScheduleDirect(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduler: %v\n", out.FinalCost)
+	fmt.Printf("direct:    %v\n", direct.FinalCost)
+	// Output:
+	// scheduler: $108.4500
+	// direct:    $259.2000
+}
+
+// ExampleSystem_Simulate executes a schedule on the event simulator and
+// confirms the independently derived cost.
+func ExampleSystem_Simulate() {
+	topo := vsp.StarTopology(vsp.GenConfig{Storages: 3, UsersPerStorage: 2, Capacity: vsp.GB(10)})
+	catalog, err := vsp.UniformCatalog(2, vsp.GB(2.5), 90*vsp.Minute, vsp.Mbps(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := vsp.NewSystem(topo, catalog, vsp.PerGBHour(1), vsp.PerGB(200))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs := vsp.RequestSet{
+		{User: 0, Video: 0, Start: 0},
+		{User: 1, Video: 0, Start: vsp.Time(3 * vsp.Hour)},
+	}
+	out, err := sys.Schedule(reqs, vsp.SchedulerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := sys.Simulate(out.Schedule)
+	fmt.Printf("ok=%v streams=%d match=%v\n",
+		rep.OK(), rep.Streams, rep.TotalCost().ApproxEqual(out.FinalCost, 1e-6))
+	// Output:
+	// ok=true streams=2 match=true
+}

@@ -1,0 +1,84 @@
+// Capacity-planning: use the library the way an operator provisioning a
+// deployment would. For a fixed workload and tariff, sweep the neighborhood
+// disk size and the link bandwidth cap, and report where extra disk stops
+// paying for itself (the paper's Fig. 9 insight: bigger caches matter most
+// under skewed demand) and how much detour cost a bandwidth limit incurs
+// (the paper's §6 future-work extension).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vsp "github.com/vodsim/vsp"
+)
+
+func main() {
+	catalog, err := vsp.GenerateCatalog(vsp.CatalogConfig{Titles: 60, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== disk provisioning sweep (α = 0.1, skewed demand) ==")
+	fmt.Println("disk/IS   total cost     savings vs direct")
+	var prev vsp.Money
+	for _, gb := range []float64{2, 4, 6, 8, 12, 16, 24} {
+		topo := vsp.MetroTopology(vsp.GenConfig{
+			Storages: 9, UsersPerStorage: 8, Capacity: vsp.GB(gb),
+		}, 11)
+		sys, err := vsp.NewSystem(topo, catalog, vsp.PerGBHour(3), vsp.PerGB(400))
+		if err != nil {
+			log.Fatal(err)
+		}
+		reqs, err := vsp.GenerateWorkload(topo, catalog, vsp.WorkloadConfig{Alpha: 0.1, Seed: 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := sys.Schedule(reqs, vsp.SchedulerConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		direct, err := sys.ScheduleDirect(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marginal := ""
+		if prev != 0 {
+			marginal = fmt.Sprintf("  (marginal %v)", out.FinalCost-prev)
+		}
+		prev = out.FinalCost
+		fmt.Printf("%5.0f GB  %-12v %5.1f%%%s\n", gb, out.FinalCost,
+			100*float64(direct.FinalCost-out.FinalCost)/float64(direct.FinalCost), marginal)
+	}
+
+	fmt.Println("\n== bandwidth feasibility (future-work extension) ==")
+	topo := vsp.MetroTopology(vsp.GenConfig{
+		Storages: 9, UsersPerStorage: 8, Capacity: vsp.GB(8),
+	}, 11)
+	sys, err := vsp.NewSystem(topo, catalog, vsp.PerGBHour(3), vsp.PerGB(400))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := vsp.GenerateWorkload(topo, catalog, vsp.WorkloadConfig{Alpha: 0.1, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sys.Schedule(reqs, vsp.SchedulerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("link cap   overloads  reroutes  unresolved  detour cost")
+	for _, mbps := range []float64{200, 100, 60, 40, 30} {
+		caps := sys.UniformLinkCapacities(vsp.Mbps(mbps))
+		before := len(sys.LinkOverloads(out.Schedule, caps))
+		res, err := sys.ResolveBandwidth(out.Schedule, caps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4.0f Mbps  %9d  %8d  %10d  %v\n",
+			mbps, before, res.Reroutes, len(res.Unresolved), res.Delta())
+	}
+	fmt.Println("\nTighter pipes force pricier detours until some windows become")
+	fmt.Println("infeasible by rerouting alone — the point where an operator must")
+	fmt.Println("add capacity or shift reservations.")
+}

@@ -1,0 +1,79 @@
+// Heat-metrics: reproduce the heart of the paper's Experiment 4 on one
+// deliberately over-committed system. Small neighborhood disks force the
+// integrated phase-1 schedule to over-commit storage; the four victim-
+// selection heat metrics (Eqs. 8–11) then resolve the same overflows with
+// different victims — and different final costs. Method 4 (time–space
+// improvement per overhead dollar) is the paper's recommendation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vsp "github.com/vodsim/vsp"
+)
+
+func main() {
+	topo := vsp.MetroTopology(vsp.GenConfig{
+		Storages:        9,
+		UsersPerStorage: 8,
+		Capacity:        vsp.GB(4), // barely one movie per storage
+	}, 7)
+	catalog, err := vsp.GenerateCatalog(vsp.CatalogConfig{Titles: 12, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := vsp.NewSystem(topo, catalog, vsp.PerGBHour(5), vsp.PerGB(500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A highly skewed evening: nearly everyone wants the same few titles,
+	// so every neighborhood wants to cache them — more demand for disk
+	// than exists.
+	reqs, err := vsp.GenerateWorkload(topo, catalog, vsp.WorkloadConfig{
+		Alpha:  0.1,
+		Window: 6 * vsp.Hour,
+		Seed:   8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	metrics := []struct {
+		m    vsp.HeatMetric
+		desc string
+	}{
+		{vsp.Period, "Eq. 8:  improved period length"},
+		{vsp.PeriodPerCost, "Eq. 9:  improved period per overhead $"},
+		{vsp.Space, "Eq. 10: freed time-space product"},
+		{vsp.SpacePerCost, "Eq. 11: freed time-space per overhead $"},
+	}
+
+	var phase1 vsp.Money
+	fmt.Println("metric                        final cost    Δ vs phase-1   victims")
+	for _, mc := range metrics {
+		out, err := sys.Schedule(reqs, vsp.SchedulerConfig{Metric: mc.m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		phase1 = out.Phase1Cost
+		if len(sys.Overflows(out.Schedule)) != 0 {
+			log.Fatalf("%v left overflows behind", mc.m)
+		}
+		fmt.Printf("%-28s  %-12v  +%.2f%%        %d\n",
+			mc.m, out.FinalCost,
+			100*float64(out.FinalCost-out.Phase1Cost)/float64(out.Phase1Cost),
+			len(out.Victims))
+	}
+	fmt.Printf("\nphase-1 (capacity-blind) cost: %v with %d storage overflows\n",
+		phase1, func() int {
+			raw, err := sys.Schedule(reqs, vsp.SchedulerConfig{SkipResolution: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return raw.Overflows
+		}())
+	fmt.Println("\nEach metric resolves every overflow; they differ in how much")
+	fmt.Println("schedule cost the resolution sacrifices. The per-cost metrics")
+	fmt.Println("(Eqs. 9 and 11) are the paper's winners across its 785-case study.")
+}

@@ -1,0 +1,77 @@
+// Replication: static pre-placement vs dynamic en-route caching. The
+// paper's companion work studies strategic replication of video files;
+// this example pits a placement plan (standing copies of the expected-hot
+// titles, pre-loaded at an off-peak bulk tariff) against the paper's
+// reactive two-phase scheduler, across tariff regimes — and shows the
+// repository's placement finding: free cache-fills from passing streams
+// make reactive caching very hard to beat.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vsp "github.com/vodsim/vsp"
+)
+
+func main() {
+	topo := vsp.MetroTopology(vsp.GenConfig{
+		Storages: 9, UsersPerStorage: 10, Capacity: vsp.GB(10),
+	}, 13)
+	catalog, err := vsp.GenerateCatalog(vsp.CatalogConfig{Titles: 40, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("architecture comparison (α = 0.1, skewed evening demand)")
+	fmt.Println()
+	fmt.Printf("%-34s %-14s %-14s %-14s %s\n", "off-peak preload tariff", "direct", "static only", "dynamic", "dynamic+static")
+	for _, factor := range []float64{1.0, 0.5, 0.1} {
+		sys, err := vsp.NewSystem(topo, catalog, vsp.PerGBHour(1), vsp.PerGB(900))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.SetPreloadFactor(factor); err != nil {
+			log.Fatal(err)
+		}
+		reqs, err := vsp.GenerateWorkload(topo, catalog, vsp.WorkloadConfig{Alpha: 0.1, Seed: 14})
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := sys.PlanPlacement(vsp.PlacementConfig{Alpha: 0.1, CapacityFraction: 0.8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seeds := plan.Seeds()
+
+		direct, err := sys.ScheduleDirect(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		static, err := sys.Schedule(reqs, vsp.SchedulerConfig{Policy: vsp.NoCaching, Seeds: seeds})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dynamic, err := sys.Schedule(reqs, vsp.SchedulerConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		both, err := sys.Schedule(reqs, vsp.SchedulerConfig{Seeds: seeds})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.0f%% of stream rate (%2d copies)     %-14.0f %-14.0f %-14.0f %.0f\n",
+			factor*100, plan.NumCopies(),
+			float64(direct.FinalCost), float64(static.FinalCost),
+			float64(dynamic.FinalCost), float64(both.FinalCost))
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: static replication recovers a large share of the")
+	fmt.Println("no-cache system's waste, and cheaper off-peak pre-loads help it —")
+	fmt.Println("but the dynamic scheduler, which fills caches for free from streams")
+	fmt.Println("that are passing anyway, beats static-only at every tariff. At full")
+	fmt.Println("tariff, standing copies on top of dynamic caching just add committed")
+	fmt.Println("cost; only once pre-loads get very cheap (here ~10% of the stream")
+	fmt.Println("rate) does the combination finally undercut pure dynamic caching.")
+}

@@ -1,0 +1,83 @@
+// Trace-replay: feed a recorded reservation log through the scheduler the
+// way a deployed operator would. The example writes a synthetic evening's
+// log to a temp file in the interchange CSV format (user,video,start),
+// replays it, and prints the operator report — then contrasts the offline
+// result with the reactive online baseline to show what batch foreknowledge
+// was worth on this log.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	vsp "github.com/vodsim/vsp"
+)
+
+func main() {
+	topo := vsp.MetroTopology(vsp.GenConfig{
+		Storages: 9, UsersPerStorage: 8, Capacity: vsp.GB(6),
+	}, 23)
+	catalog, err := vsp.GenerateCatalog(vsp.CatalogConfig{Titles: 80, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := vsp.NewSystem(topo, catalog, vsp.PerGBHour(3), vsp.PerGB(400))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Record a synthetic log to disk (a real deployment would have one).
+	reqs, err := vsp.GenerateWorkload(topo, catalog, vsp.WorkloadConfig{
+		Alpha:    0.271,
+		Arrival:  vsp.EveningPeakArrival,
+		Locality: 0.3, // mild regional taste variation
+		Seed:     24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "reservations.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vsp.WriteTrace(f, reqs); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("wrote %d reservations to %s\n\n", len(reqs), path)
+
+	// 2. Replay the log.
+	f, err = os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayed, err := vsp.ReadTrace(f, topo, catalog)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := sys.Schedule(replayed, vsp.SchedulerConfig{Metric: vsp.SpacePerCost})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := sys.Analyze(out.Schedule)
+	if err := rep.Write(os.Stdout, 5); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. What was the reservation batch worth? Replay the same log through
+	// the reactive online system (no foreknowledge).
+	on, err := sys.ScheduleOnline(replayed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noffline (VOR batch):  %v\n", out.FinalCost)
+	fmt.Printf("online (reactive):    %v (hit rate %.0f%%)\n", on.TotalCost(), 100*on.HitRate())
+	fmt.Printf("foreknowledge saved:  %v (%.1f%%)\n",
+		on.TotalCost()-out.FinalCost,
+		100*float64(on.TotalCost()-out.FinalCost)/float64(on.TotalCost()))
+}

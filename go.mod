@@ -1,0 +1,3 @@
+module github.com/vodsim/vsp
+
+go 1.22

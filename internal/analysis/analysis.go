@@ -1,0 +1,199 @@
+// Package analysis derives operator-facing statistics from a service
+// schedule: cache effectiveness, per-storage and per-title breakdowns, and
+// network volume — the numbers a provider would watch when tuning the
+// paper's system (how much the intermediate storages actually shave off
+// the warehouse's egress, and where).
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/occupancy"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+// NodeStats aggregates one intermediate storage's activity.
+type NodeStats struct {
+	Node        topology.NodeID
+	Name        string
+	Copies      int     // residencies hosted
+	Served      int     // deliveries supplied from those copies
+	PeakBytes   float64 // peak reserved space
+	ByteSeconds float64 // integrated reserved space
+	StorageCost units.Money
+}
+
+// VideoStats aggregates one title's service.
+type VideoStats struct {
+	Video      media.VideoID
+	Requests   int
+	CacheHits  int // requests served from a cached copy
+	Copies     int
+	TotalCost  units.Money
+	DirectCost units.Money // what all-direct service would have cost
+}
+
+// Savings returns the title's saving versus all-direct service.
+func (v VideoStats) Savings() units.Money { return v.DirectCost - v.TotalCost }
+
+// Report is the full analysis of one schedule.
+type Report struct {
+	Requests     int
+	CacheHits    int // deliveries supplied by a cached copy
+	LocalHits    int // zero-hop deliveries (copy at the user's own storage)
+	WarehouseHit int // deliveries streamed from the warehouse
+	Copies       int
+	// PrePlacedCopies counts the standing copies among Copies.
+	PrePlacedCopies int
+	StreamBytes     units.Bytes // network volume actually scheduled
+	DirectBytes     units.Bytes // network volume all-direct service would move
+	TotalCost       units.Money
+	StorageCost     units.Money
+	NetworkCost     units.Money
+	DirectCost      units.Money
+	Nodes           []NodeStats  // storages with any activity, busiest first
+	Videos          []VideoStats // titles, costliest first
+}
+
+// HitRate returns the fraction of requests served from cached copies.
+func (r *Report) HitRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.Requests)
+}
+
+// NetworkSavings returns the network volume avoided versus all-direct
+// service.
+func (r *Report) NetworkSavings() units.Bytes { return r.DirectBytes - r.StreamBytes }
+
+// CostSavings returns the money saved versus all-direct service.
+func (r *Report) CostSavings() units.Money { return r.DirectCost - r.TotalCost }
+
+// Summarize analyses a schedule under the model's rates.
+func Summarize(m *cost.Model, s *schedule.Schedule) *Report {
+	topo := m.Book().Topology()
+	rep := &Report{}
+	perNode := map[topology.NodeID]*NodeStats{}
+	nodeStat := func(n topology.NodeID) *NodeStats {
+		st := perNode[n]
+		if st == nil {
+			st = &NodeStats{Node: n, Name: topo.Node(n).Name}
+			perNode[n] = st
+		}
+		return st
+	}
+
+	for _, vid := range s.VideoIDs() {
+		fs := s.Files[vid]
+		v := m.Catalog().Video(vid)
+		vs := VideoStats{Video: vid, Requests: len(fs.Deliveries), Copies: len(fs.Residencies)}
+		for _, d := range fs.Deliveries {
+			rep.Requests++
+			rep.StreamBytes += units.Bytes(int64(v.StreamBytes()) * int64(d.Route.Hops()))
+			if d.SourceResidency != schedule.NoResidency {
+				rep.CacheHits++
+				vs.CacheHits++
+				nodeStat(d.Src()).Served++
+				if d.Route.Hops() == 0 {
+					rep.LocalHits++
+				}
+			} else {
+				rep.WarehouseHit++
+			}
+			vs.TotalCost += m.DeliveryCost(d)
+			vs.DirectCost += m.TransferCost(vid, topo.Warehouse(), d.Dst())
+			rep.DirectBytes += hopVolume(m, vid, topo.Warehouse(), d.Dst())
+		}
+		for _, c := range fs.Residencies {
+			rep.Copies++
+			st := nodeStat(c.Loc)
+			st.Copies++
+			cCost := m.ResidencyCost(c)
+			st.StorageCost += cCost
+			vs.TotalCost += cCost
+			if c.FedBy == schedule.PrePlacedFeed {
+				rep.PrePlacedCopies++
+				vs.TotalCost += m.PrePlacementCost(c)
+			}
+		}
+		rep.Videos = append(rep.Videos, vs)
+	}
+	bd := m.CostBreakdown(s)
+	rep.StorageCost, rep.NetworkCost = bd.Storage, bd.Network
+	rep.TotalCost = bd.Total()
+	for _, vs := range rep.Videos {
+		rep.DirectCost += vs.DirectCost
+	}
+
+	ledger := occupancy.FromSchedule(topo, m.Catalog(), s)
+	for n, st := range perNode {
+		peak, _ := ledger.Peak(n)
+		st.PeakBytes = peak
+		// Integrate reserved space: sum the residencies' own integrals.
+		for _, fs := range s.Files {
+			v := m.Catalog().Video(fs.Video)
+			for _, c := range fs.Residencies {
+				if c.Loc == n {
+					st.ByteSeconds += c.TotalSpaceIntegral(v.Size.Float(), v.Playback)
+				}
+			}
+		}
+		rep.Nodes = append(rep.Nodes, *st)
+	}
+	sort.Slice(rep.Nodes, func(i, j int) bool {
+		if rep.Nodes[i].Served != rep.Nodes[j].Served {
+			return rep.Nodes[i].Served > rep.Nodes[j].Served
+		}
+		return rep.Nodes[i].Node < rep.Nodes[j].Node
+	})
+	sort.Slice(rep.Videos, func(i, j int) bool {
+		if rep.Videos[i].TotalCost != rep.Videos[j].TotalCost {
+			return rep.Videos[i].TotalCost > rep.Videos[j].TotalCost
+		}
+		return rep.Videos[i].Video < rep.Videos[j].Video
+	})
+	return rep
+}
+
+// hopVolume returns the stream volume × cheapest-route hop count from src
+// to dst for the title.
+func hopVolume(m *cost.Model, vid media.VideoID, src, dst topology.NodeID) units.Bytes {
+	r, err := m.Table().Route(src, dst)
+	if err != nil {
+		return 0
+	}
+	v := m.Catalog().Video(vid)
+	return units.Bytes(int64(v.StreamBytes()) * int64(r.Hops()))
+}
+
+// Write renders the report as a human-readable block.
+func (r *Report) Write(w io.Writer, topN int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests        %d  (cache hits %d = %.0f%%, local hits %d, warehouse %d)\n",
+		r.Requests, r.CacheHits, 100*r.HitRate(), r.LocalHits, r.WarehouseHit)
+	fmt.Fprintf(&b, "cached copies   %d\n", r.Copies)
+	fmt.Fprintf(&b, "network volume  %v (all-direct would be %v; saved %v)\n",
+		r.StreamBytes, r.DirectBytes, r.NetworkSavings())
+	fmt.Fprintf(&b, "total cost      %v = storage %v + network %v\n", r.TotalCost, r.StorageCost, r.NetworkCost)
+	fmt.Fprintf(&b, "vs all-direct   %v (saved %v)\n", r.DirectCost, r.CostSavings())
+	if topN > 0 && len(r.Nodes) > 0 {
+		b.WriteString("busiest storages:\n")
+		for i, st := range r.Nodes {
+			if i >= topN {
+				break
+			}
+			fmt.Fprintf(&b, "  %-8s %2d copies, %3d served, peak %.2f GB, cost %v\n",
+				st.Name, st.Copies, st.Served, st.PeakBytes/1e9, st.StorageCost)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,106 @@
+// Package audit bundles every independent check the repository has into a
+// single verdict on a schedule: structural validation, capacity
+// feasibility, event-simulator execution with cost agreement, and billing
+// attribution consistency. Operators call it before trusting a schedule
+// produced elsewhere (a file from disk, a response from the HTTP service);
+// the test suite uses the same bundle as its end-to-end oracle.
+package audit
+
+import (
+	"fmt"
+
+	"github.com/vodsim/vsp/internal/billing"
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/occupancy"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/vodsim"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Finding is one failed check.
+type Finding struct {
+	Check  string
+	Detail string
+}
+
+func (f Finding) String() string { return f.Check + ": " + f.Detail }
+
+// Report is the audit outcome.
+type Report struct {
+	Findings []Finding
+	// AnalyticCost is Ψ(S) under the model.
+	AnalyticCost units.Money
+	// SimulatedCost is the event simulator's independent total.
+	SimulatedCost units.Money
+	// BilledCost is the billing statement's total.
+	BilledCost units.Money
+	// Overflows counts storage over-commit situations.
+	Overflows int
+}
+
+// OK reports whether every check passed.
+func (r *Report) OK() bool { return len(r.Findings) == 0 }
+
+func (r *Report) add(check, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{Check: check, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Run audits a schedule against the model and the request batch it claims
+// to serve. All checks always run; the report collects every failure
+// rather than stopping at the first.
+func Run(m *cost.Model, s *schedule.Schedule, reqs workload.Set) *Report {
+	rep := &Report{}
+	topo := m.Book().Topology()
+
+	// 1. Structural validation + request coverage.
+	if err := s.Validate(topo, m.Catalog(), reqs); err != nil {
+		rep.add("validate", "%v", err)
+	}
+
+	// 2. Capacity feasibility.
+	ledger := occupancy.FromSchedule(topo, m.Catalog(), s)
+	ovs := ledger.AllOverflows()
+	rep.Overflows = len(ovs)
+	if len(ovs) > 0 {
+		rep.add("capacity", "%d storage overflow(s), first %v", len(ovs), ovs[0])
+	}
+
+	// 3. Event-driven execution and independent cost derivation.
+	rep.AnalyticCost = m.ScheduleCost(s)
+	sim := vodsim.Execute(m.Book(), m.Catalog(), s)
+	rep.SimulatedCost = sim.TotalCost()
+	if !sim.OK() {
+		rep.add("simulate", "%d violation(s), first %v", len(sim.Violations), sim.Violations[0])
+	}
+	if !rep.SimulatedCost.ApproxEqual(rep.AnalyticCost, costTolerance(rep.AnalyticCost)) {
+		rep.add("cost-agreement", "simulated %v != analytic %v", rep.SimulatedCost, rep.AnalyticCost)
+	}
+
+	// 4. Billing attribution sums to Ψ(S).
+	st, err := billing.Attribute(m, s)
+	if err != nil {
+		rep.add("billing", "%v", err)
+	} else {
+		rep.BilledCost = st.Total()
+		if !rep.BilledCost.ApproxEqual(rep.AnalyticCost, costTolerance(rep.AnalyticCost)) {
+			rep.add("billing-sum", "billed %v != analytic %v", rep.BilledCost, rep.AnalyticCost)
+		}
+		for _, l := range st.Lines {
+			if l.Network < -1e-9 || l.Storage < -1e-9 {
+				rep.add("billing-negative", "user %d charged %v network, %v storage", l.User, l.Network, l.Storage)
+				break
+			}
+		}
+	}
+	return rep
+}
+
+// costTolerance scales the float tolerance with the magnitude of the cost.
+func costTolerance(c units.Money) float64 {
+	t := 1e-6 * (1 + float64(c))
+	if t < 1e-6 {
+		return 1e-6
+	}
+	return t
+}

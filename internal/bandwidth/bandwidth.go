@@ -1,0 +1,185 @@
+// Package bandwidth implements the paper's stated future work (§6):
+// resolving "the bandwidth constraints of the intermediate storages and
+// communication network". The cost-optimal schedule reserves link bandwidth
+// implicitly — every delivery occupies its route at the title's reserved
+// rate for the playback length — but nothing in the two-phase heuristic
+// keeps concurrent reservations under a link's capacity.
+//
+// This package adds: per-link capacity books, exact detection of bandwidth
+// overloads (reserved rate is a step function of time, so overload windows
+// are computed by event sweep), and a resolution pass that reroutes the
+// cheapest-to-move streams around saturated links without creating new
+// overloads.
+package bandwidth
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+// Capacities holds per-edge bandwidth limits. A zero entry means the link
+// is uncapped.
+type Capacities struct {
+	Edge []units.BytesPerSec
+}
+
+// UniformEdges caps every link of the topology at the same rate.
+func UniformEdges(topo *topology.Topology, cap units.BytesPerSec) Capacities {
+	c := Capacities{Edge: make([]units.BytesPerSec, topo.NumEdges())}
+	for i := range c.Edge {
+		c.Edge[i] = cap
+	}
+	return c
+}
+
+// Capped reports whether the edge has a finite limit.
+func (c Capacities) Capped(edge int) bool {
+	return edge < len(c.Edge) && c.Edge[edge] > 0
+}
+
+// Overload is one saturated-link situation: reserved bandwidth exceeds the
+// link's capacity throughout Interval, peaking at Peak.
+type Overload struct {
+	Edge     int
+	Interval simtime.Interval
+	Peak     units.BytesPerSec
+}
+
+func (o Overload) String() string {
+	return fmt.Sprintf("link %d overloaded %s peak=%v", o.Edge, o.Interval, o.Peak)
+}
+
+type event struct {
+	at   simtime.Time
+	rate float64 // signed
+}
+
+// Usage is the per-link reserved-bandwidth profile of a schedule.
+type Usage struct {
+	topo   *topology.Topology
+	events [][]event // per edge, time-sorted
+}
+
+// Analyze builds the usage profile of a schedule.
+func Analyze(topo *topology.Topology, catalog *media.Catalog, s *schedule.Schedule) *Usage {
+	u := &Usage{topo: topo, events: make([][]event, topo.NumEdges())}
+	for _, vid := range s.VideoIDs() {
+		fs := s.Files[vid]
+		v := catalog.Video(vid)
+		for _, d := range fs.Deliveries {
+			u.addDelivery(d, float64(v.Rate), v.Playback)
+		}
+	}
+	for e := range u.events {
+		sort.Slice(u.events[e], func(i, j int) bool { return u.events[e][i].at < u.events[e][j].at })
+	}
+	return u
+}
+
+func (u *Usage) addDelivery(d schedule.Delivery, rate float64, playback simtime.Duration) {
+	for h := 1; h < len(d.Route); h++ {
+		ei, ok := u.topo.EdgeBetween(d.Route[h-1], d.Route[h])
+		if !ok {
+			continue // schedule validation catches this; usage skips it
+		}
+		u.events[ei] = append(u.events[ei],
+			event{at: d.Start, rate: rate},
+			event{at: d.Start.Add(playback), rate: -rate})
+	}
+}
+
+// PeakRate returns the maximum reserved rate ever seen on the edge.
+func (u *Usage) PeakRate(edge int) units.BytesPerSec {
+	peak, cur := 0.0, 0.0
+	for _, ev := range u.events[edge] {
+		cur += ev.rate
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return units.BytesPerSec(peak)
+}
+
+// MaxRateDuring returns the maximum reserved rate on the edge within the
+// half-open window [iv.Start, iv.End).
+func (u *Usage) MaxRateDuring(edge int, iv simtime.Interval) units.BytesPerSec {
+	peak, cur := 0.0, 0.0
+	evs := u.events[edge]
+	for i := 0; i < len(evs); i++ {
+		cur += evs[i].rate
+		// Level `cur` holds from evs[i].at until the next event.
+		from := evs[i].at
+		to := simtime.Time(1<<62 - 1)
+		if i+1 < len(evs) {
+			to = evs[i+1].at
+		}
+		if from < iv.End && iv.Start < to && cur > peak {
+			peak = cur
+		}
+	}
+	return units.BytesPerSec(peak)
+}
+
+// stepExceedance holds one maximal window where a step function strictly
+// exceeds a limit.
+type stepExceedance struct {
+	iv   simtime.Interval
+	peak float64
+}
+
+// sweepSteps walks a time-sorted signed-rate event list and returns the
+// maximal windows where the running sum strictly exceeds limit.
+func sweepSteps(evs []event, limit float64) []stepExceedance {
+	const eps = 1e-6
+	var out []stepExceedance
+	cur := 0.0
+	open := -1 // index into out
+	for i := 0; i < len(evs); i++ {
+		at := evs[i].at
+		cur += evs[i].rate
+		// Coalesce simultaneous events.
+		for i+1 < len(evs) && evs[i+1].at == at {
+			i++
+			cur += evs[i].rate
+		}
+		if cur > limit+eps {
+			if open < 0 {
+				out = append(out, stepExceedance{iv: simtime.NewInterval(at, at)})
+				open = len(out) - 1
+			}
+			if cur > out[open].peak {
+				out[open].peak = cur
+			}
+		} else if open >= 0 {
+			out[open].iv.End = at
+			open = -1
+		}
+	}
+	// A step function returns to zero after the last event, so an open
+	// window here means inconsistent events; close it defensively.
+	if open >= 0 && len(evs) > 0 {
+		out[open].iv.End = evs[len(evs)-1].at
+	}
+	return out
+}
+
+// Overloads returns the maximal windows where each capped link's reserved
+// rate strictly exceeds its capacity, ordered by edge then time.
+func (u *Usage) Overloads(caps Capacities) []Overload {
+	var out []Overload
+	for e := range u.events {
+		if !caps.Capped(e) {
+			continue
+		}
+		for _, x := range sweepSteps(u.events[e], float64(caps.Edge[e])) {
+			out = append(out, Overload{Edge: e, Interval: x.iv, Peak: units.BytesPerSec(x.peak)})
+		}
+	}
+	return out
+}

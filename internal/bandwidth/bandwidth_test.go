@@ -1,0 +1,248 @@
+package bandwidth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/pricing"
+	"github.com/vodsim/vsp/internal/routing"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/scheduler"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/testutil"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// diamond builds VW with two disjoint 2-hop paths to IS3:
+// VW - IS1 - IS3 (cheap) and VW - IS2 - IS3 (dear).
+func diamond(t *testing.T) (*cost.Model, *topology.Topology) {
+	t.Helper()
+	b := topology.NewBuilder()
+	vw := b.Warehouse("VW")
+	is1 := b.Storage("IS1", 50*units.GB)
+	is2 := b.Storage("IS2", 50*units.GB)
+	is3 := b.Storage("IS3", 50*units.GB)
+	b.Connect(vw, is1)
+	b.Connect(vw, is2)
+	b.Connect(is1, is3)
+	b.Connect(is2, is3)
+	b.AttachUsers(is3, 4)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := media.Uniform(4, units.GBf(2.5), 90*simtime.Minute, units.Mbps(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := pricing.Uniform(topo, 0, pricing.PerGB(100))
+	// Make the IS2 path twice as expensive so the cheapest route always
+	// goes via IS1.
+	e02, _ := topo.EdgeBetween(vw, is2)
+	e23, _ := topo.EdgeBetween(is2, is3)
+	book.SetNRate(e02, pricing.PerGB(200))
+	book.SetNRate(e23, pricing.PerGB(200))
+	table := routing.NewTable(book)
+	return cost.NewModel(book, table, cat), topo
+}
+
+// directSchedule serves n simultaneous requests for distinct titles via
+// direct streams (all on the cheap path).
+func directSchedule(t *testing.T, m *cost.Model, topo *topology.Topology, n int) (*schedule.Schedule, workload.Set) {
+	t.Helper()
+	is3, _ := topo.Lookup("IS3")
+	users := topo.UsersAt(is3)
+	var reqs workload.Set
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, workload.Request{User: users[i], Video: media.VideoID(i), Start: 0})
+	}
+	out, err := scheduler.RunDirect(m, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Schedule, reqs
+}
+
+func TestAnalyzePeaks(t *testing.T) {
+	m, topo := diamond(t)
+	s, _ := directSchedule(t, m, topo, 3)
+	u := Analyze(topo, m.Catalog(), s)
+	is1, _ := topo.Lookup("IS1")
+	e01, _ := topo.EdgeBetween(topo.Warehouse(), is1)
+	if got := u.PeakRate(e01).Mbit(); math.Abs(got-18) > 1e-9 {
+		t.Errorf("peak on cheap first hop = %g Mbps, want 18 (3 concurrent 6 Mbps streams)", got)
+	}
+	is2, _ := topo.Lookup("IS2")
+	e02, _ := topo.EdgeBetween(topo.Warehouse(), is2)
+	if got := u.PeakRate(e02); got != 0 {
+		t.Errorf("dear path unexpectedly used: %v", got)
+	}
+	// MaxRateDuring respects the window.
+	if got := u.MaxRateDuring(e01, simtime.NewInterval(0, 10)).Mbit(); math.Abs(got-18) > 1e-9 {
+		t.Errorf("MaxRateDuring during streams = %g", got)
+	}
+	after := simtime.Time(90 * simtime.Minute)
+	if got := u.MaxRateDuring(e01, simtime.NewInterval(after+1, after+100)); got != 0 {
+		t.Errorf("MaxRateDuring after streams = %v", got)
+	}
+}
+
+func TestOverloadDetection(t *testing.T) {
+	m, topo := diamond(t)
+	s, _ := directSchedule(t, m, topo, 3)
+	u := Analyze(topo, m.Catalog(), s)
+	// Cap at 12 Mbps: 3 concurrent 6 Mbps streams overload both cheap-path
+	// links.
+	caps := UniformEdges(topo, units.Mbps(12))
+	ovs := u.Overloads(caps)
+	if len(ovs) != 2 {
+		t.Fatalf("overloads = %v, want 2 (both cheap-path links)", ovs)
+	}
+	for _, o := range ovs {
+		if o.Interval.Start != 0 {
+			t.Errorf("overload start = %v, want 0", o.Interval.Start)
+		}
+		if o.Interval.End != simtime.Time(90*simtime.Minute) {
+			t.Errorf("overload end = %v, want stream end", o.Interval.End)
+		}
+		if math.Abs(o.Peak.Mbit()-18) > 1e-9 {
+			t.Errorf("overload peak = %v", o.Peak)
+		}
+		if o.String() == "" {
+			t.Error("String empty")
+		}
+	}
+	// Cap at 18 Mbps: fits exactly; no overload (strict exceedance).
+	if ovs := u.Overloads(UniformEdges(topo, units.Mbps(18))); len(ovs) != 0 {
+		t.Errorf("at-capacity overloads: %v", ovs)
+	}
+	// Uncapped: no overloads.
+	if ovs := u.Overloads(Capacities{}); len(ovs) != 0 {
+		t.Errorf("uncapped overloads: %v", ovs)
+	}
+}
+
+func TestResolveReroutesAroundSaturation(t *testing.T) {
+	m, topo := diamond(t)
+	s, reqs := directSchedule(t, m, topo, 3)
+	caps := UniformEdges(topo, units.Mbps(12))
+	res, err := Resolve(m, s, caps)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(res.Unresolved) != 0 {
+		t.Fatalf("unresolved: %v", res.Unresolved)
+	}
+	if res.Reroutes == 0 {
+		t.Fatal("expected at least one reroute")
+	}
+	u := Analyze(topo, m.Catalog(), res.Schedule)
+	if ovs := u.Overloads(caps); len(ovs) != 0 {
+		t.Fatalf("overloads after resolve: %v", ovs)
+	}
+	// Rerouting onto the dear path costs more.
+	if res.CostAfter <= res.CostBefore {
+		t.Errorf("detour did not increase cost: %v -> %v", res.CostBefore, res.CostAfter)
+	}
+	if res.Delta() != res.CostAfter-res.CostBefore {
+		t.Error("Delta inconsistent")
+	}
+	// Still a valid schedule serving all requests.
+	if err := res.Schedule.Validate(topo, m.Catalog(), reqs); err != nil {
+		t.Fatalf("rerouted schedule invalid: %v", err)
+	}
+	// Input untouched.
+	uOrig := Analyze(topo, m.Catalog(), s)
+	if len(uOrig.Overloads(caps)) == 0 {
+		t.Error("Resolve modified its input")
+	}
+}
+
+func TestResolveReportsUnresolvable(t *testing.T) {
+	m, topo := diamond(t)
+	// 4 simultaneous streams, all links capped at 6 Mbps: only 2 streams
+	// fit (one per path); the rest are unresolvable by rerouting.
+	s, _ := directSchedule(t, m, topo, 4)
+	caps := UniformEdges(topo, units.Mbps(6))
+	res, err := Resolve(m, s, caps)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(res.Unresolved) == 0 {
+		t.Fatal("expected unresolved overloads")
+	}
+}
+
+func TestResolveNoopWhenUnderCapacity(t *testing.T) {
+	m, topo := diamond(t)
+	s, _ := directSchedule(t, m, topo, 2)
+	caps := UniformEdges(topo, units.Mbps(100))
+	res, err := Resolve(m, s, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reroutes != 0 || res.CostAfter != res.CostBefore {
+		t.Error("no-op resolve changed the schedule")
+	}
+}
+
+func TestResolvePreservesCacheFeeds(t *testing.T) {
+	// A schedule whose stream feeds a cache at IS1: rerouting that stream
+	// via IS2 would orphan the cache, so the resolver must reroute a
+	// different stream (or leave the overload unresolved).
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := scheduler.Run(f.Model, f.Requests, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig2's chain has no alternative routes at all: any cap below the
+	// stream rate is unresolvable, and the feed must remain intact.
+	caps := UniformEdges(f.Topo, units.Mbps(3))
+	res, err := Resolve(f.Model, out.Schedule, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unresolved) == 0 {
+		t.Fatal("chain topology cannot reroute; expected unresolved")
+	}
+	if err := res.Schedule.Validate(f.Topo, f.Model.Catalog(), f.Requests); err != nil {
+		t.Fatalf("schedule corrupted: %v", err)
+	}
+}
+
+func TestRouteAvoiding(t *testing.T) {
+	m, topo := diamond(t)
+	is3, _ := topo.Lookup("IS3")
+	is1, _ := topo.Lookup("IS1")
+	e01, _ := topo.EdgeBetween(topo.Warehouse(), is1)
+	r, rate, err := routing.RouteAvoiding(m.Book(), topo.Warehouse(), is3, func(e int) bool { return e == e01 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 3 || r[1] == is1 {
+		t.Errorf("avoiding route = %v", r)
+	}
+	if math.Abs(float64(rate)-float64(pricing.PerGB(400))) > 1e-15 {
+		t.Errorf("avoiding rate = %v, want 400/GB", rate)
+	}
+	// Banning both first hops disconnects VW.
+	e02, _ := topo.EdgeBetween(topo.Warehouse(), topology.NodeID(2))
+	_, _, err = routing.RouteAvoiding(m.Book(), topo.Warehouse(), is3, func(e int) bool {
+		return e == e01 || e == e02
+	})
+	if err == nil {
+		t.Error("expected no-route error")
+	}
+	// Self route.
+	r, rate, err = routing.RouteAvoiding(m.Book(), is3, is3, func(int) bool { return true })
+	if err != nil || len(r) != 1 || rate != 0 {
+		t.Errorf("self route = %v %v %v", r, rate, err)
+	}
+}

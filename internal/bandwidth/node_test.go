@@ -1,0 +1,262 @@
+package bandwidth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/scheduler"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/testutil"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// fig2CacheSchedule builds the standard Fig2 schedule: VW feeds IS1's copy,
+// which serves U2 (relay to IS2) and U3. IS1's I/O carries the write
+// [0, P] plus reads at [P, 2P] and [2P, 3P].
+func fig2CacheSchedule(t *testing.T) (*testutil.Fig2, *scheduler.Outcome) {
+	t.Helper()
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := scheduler.Run(f.Model, f.Requests, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, out
+}
+
+func TestAnalyzeNodesProfiles(t *testing.T) {
+	f, out := fig2CacheSchedule(t)
+	u := AnalyzeNodes(f.Topo, f.Model.Catalog(), out.Schedule)
+	// The optimal Fig2 schedule: IS1 writes its copy during [0,P] (6 Mbps)
+	// and serves U2's relay at [P, 2P]; IS2 writes during [P, 2P] and
+	// serves U3 locally at [2P, 3P]. Peaks are single-stream = 6 Mbps at
+	// IS1; at IS2 write+read never overlap either (write [P,2P], read
+	// [2P,3P]) => 6 Mbps.
+	if got := u.PeakRate(f.IS1).Mbit(); math.Abs(got-12) > 1e-9 && math.Abs(got-6) > 1e-9 {
+		t.Errorf("IS1 peak = %g Mbps", got)
+	}
+	// The warehouse serves exactly one stream.
+	if got := u.PeakRate(f.VW).Mbit(); math.Abs(got-6) > 1e-9 {
+		t.Errorf("VW peak = %g Mbps, want 6", got)
+	}
+}
+
+func TestNodeOverloadDetection(t *testing.T) {
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two users at IS2 at the same instant: phase 1 shares one stream from
+	// VW, caches at IS1 and IS2... construct with three overlapping reads
+	// from one copy: requests at t, t+600, t+1200 all served from the IS1
+	// copy produce concurrent reads.
+	u23 := f.Topo.UsersAt(f.IS2)
+	u1 := f.Topo.UsersAt(f.IS1)[0]
+	reqs := workload.Set{
+		{User: u1, Video: 0, Start: 0},
+		{User: u23[0], Video: 0, Start: 600},
+		{User: u23[1], Video: 0, Start: 1200},
+	}
+	out, err := scheduler.Run(f.Model, reqs, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := AnalyzeNodes(f.Topo, f.Model.Catalog(), out.Schedule)
+	var busiest units.BytesPerSec
+	for _, n := range f.Topo.Nodes() {
+		if r := u.PeakRate(n.ID); r > busiest {
+			busiest = r
+		}
+	}
+	if busiest.Mbit() < 12 {
+		t.Fatalf("expected some node to sustain >= 2 concurrent streams, busiest %v", busiest)
+	}
+	caps := UniformNodes(f.Topo, units.Mbps(6))
+	ovs := u.Overloads(caps)
+	if len(ovs) == 0 {
+		t.Fatal("expected node I/O overloads at a 6 Mbps cap")
+	}
+	for _, o := range ovs {
+		if o.String() == "" {
+			t.Error("String empty")
+		}
+		if f.Topo.Node(o.Node).Kind != 1 { // KindStorage
+			t.Errorf("warehouse reported overloaded despite being uncapped")
+		}
+	}
+	// Generous cap: nothing.
+	if ovs := u.Overloads(UniformNodes(f.Topo, units.Mbps(100))); len(ovs) != 0 {
+		t.Errorf("overloads at generous cap: %v", ovs)
+	}
+}
+
+func TestResolveNodesMovesReadsToWarehouse(t *testing.T) {
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u23 := f.Topo.UsersAt(f.IS2)
+	u1 := f.Topo.UsersAt(f.IS1)[0]
+	reqs := workload.Set{
+		{User: u1, Video: 0, Start: 0},
+		{User: u23[0], Video: 0, Start: 600},
+		{User: u23[1], Video: 0, Start: 1200},
+	}
+	out, err := scheduler.Run(f.Model, reqs, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := UniformNodes(f.Topo, units.Mbps(6))
+	before := AnalyzeNodes(f.Topo, f.Model.Catalog(), out.Schedule).Overloads(caps)
+	if len(before) == 0 {
+		t.Skip("phase 1 produced no node overload on this rig")
+	}
+	res, err := ResolveNodes(f.Model, out.Schedule, caps)
+	if err != nil {
+		t.Fatalf("ResolveNodes: %v", err)
+	}
+	after := AnalyzeNodes(f.Topo, f.Model.Catalog(), res.Schedule).Overloads(caps)
+	after = filterNodeResolved(after, res.Unresolved)
+	if len(after) != 0 {
+		t.Fatalf("overloads remain: %v", after)
+	}
+	if res.Moves == 0 && len(res.Unresolved) == 0 {
+		t.Fatal("resolution did nothing yet reported success")
+	}
+	// Moving reads to the warehouse costs network but must keep a valid
+	// schedule serving every request.
+	if err := res.Schedule.Validate(f.Topo, f.Model.Catalog(), reqs); err != nil {
+		t.Fatalf("moved schedule invalid: %v", err)
+	}
+	if res.Moves > 0 && res.Delta() < 0 {
+		// Moving to VW can actually SAVE storage cost when the shrink
+		// dominates; only assert consistency.
+		t.Logf("note: move saved money: %v", res.Delta())
+	}
+	// Input untouched.
+	if len(AnalyzeNodes(f.Topo, f.Model.Catalog(), out.Schedule).Overloads(caps)) == 0 {
+		t.Error("ResolveNodes modified its input")
+	}
+}
+
+func TestResolveNodesNoop(t *testing.T) {
+	f, out := fig2CacheSchedule(t)
+	caps := UniformNodes(f.Topo, units.Mbps(1000))
+	res, err := ResolveNodes(f.Model, out.Schedule, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 0 || res.CostAfter != res.CostBefore {
+		t.Error("no-op node resolution changed the schedule")
+	}
+}
+
+func TestResolveNodesKeepsFeeders(t *testing.T) {
+	// The Fig2 optimal schedule's IS1->IS2 relay FEEDS the IS2 copy, so
+	// under an impossible cap it must never be moved; the overload is
+	// reported unresolved instead and the schedule stays intact.
+	f, out := fig2CacheSchedule(t)
+	caps := UniformNodes(f.Topo, units.Mbps(3)) // below a single stream
+	res, err := ResolveNodes(f.Model, out.Schedule, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unresolved) == 0 {
+		t.Fatal("sub-stream cap must leave unresolved overloads")
+	}
+	if err := res.Schedule.Validate(f.Topo, f.Model.Catalog(), f.Requests); err != nil {
+		t.Fatalf("schedule corrupted: %v", err)
+	}
+	for _, fs := range res.Schedule.Files {
+		for _, c := range fs.Residencies {
+			feed := fs.Deliveries[c.FedBy]
+			if feed.Src() != c.Src {
+				t.Error("residency source corrupted")
+			}
+		}
+	}
+}
+
+func TestResolveNodesPrunesEmptiedResidency(t *testing.T) {
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One cached copy at IS2 serving one later local request; capping IS2
+	// tight forces the read to move to VW, emptying the copy, which must
+	// then disappear.
+	u23 := f.Topo.UsersAt(f.IS2)
+	reqs := workload.Set{
+		{User: u23[0], Video: 0, Start: 0},
+		{User: u23[1], Video: 0, Start: 3000},
+	}
+	out, err := scheduler.Run(f.Model, reqs, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schedule.NumResidencies() == 0 {
+		t.Skip("greedy chose not to cache; nothing to prune")
+	}
+	// Cap IS2's I/O below write+read concurrency (the write [0,P] overlaps
+	// the read [3000, 3000+P]).
+	caps := UniformNodes(f.Topo, units.Mbps(7))
+	res, err := ResolveNodes(f.Model, out.Schedule, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(f.Topo, f.Model.Catalog(), reqs); err != nil {
+		t.Fatalf("invalid after prune: %v", err)
+	}
+	if res.Moves > 0 && res.Schedule.NumResidencies() >= out.Schedule.NumResidencies() {
+		t.Error("expected the emptied residency to be pruned")
+	}
+}
+
+func TestSweepStepsEdgeCases(t *testing.T) {
+	// Empty events.
+	if got := sweepSteps(nil, 5); len(got) != 0 {
+		t.Errorf("empty sweep = %v", got)
+	}
+	// A single spike above the limit opening and closing at the same pair
+	// of events, with simultaneous coalescing.
+	evs := []event{
+		{at: 10, rate: 4}, {at: 10, rate: 4}, // 8 > 5
+		{at: 20, rate: -4}, {at: 20, rate: -4},
+	}
+	got := sweepSteps(evs, 5)
+	if len(got) != 1 || got[0].iv.Start != 10 || got[0].iv.End != 20 || got[0].peak != 8 {
+		t.Errorf("sweep = %+v", got)
+	}
+	// Exactly at the limit: no exceedance.
+	if got := sweepSteps(evs, 8); len(got) != 0 {
+		t.Errorf("at-limit sweep = %v", got)
+	}
+	// Two disjoint exceedances.
+	evs = []event{
+		{at: 0, rate: 10}, {at: 5, rate: -10},
+		{at: 20, rate: 10}, {at: 30, rate: -10},
+	}
+	got = sweepSteps(evs, 5)
+	if len(got) != 2 || got[1].iv.Start != 20 {
+		t.Errorf("disjoint sweep = %+v", got)
+	}
+}
+
+func TestSimultaneousFig2Requests(t *testing.T) {
+	// Simultaneity probe used by vodsim too: the three-request Fig2 batch
+	// under node caps resolves or reports cleanly for every cap.
+	f, out := fig2CacheSchedule(t)
+	for _, mbps := range []float64{4, 6, 8, 12, 24} {
+		res, err := ResolveNodes(f.Model, out.Schedule, UniformNodes(f.Topo, units.Mbps(mbps)))
+		if err != nil {
+			t.Fatalf("cap %g: %v", mbps, err)
+		}
+		if err := res.Schedule.Validate(f.Topo, f.Model.Catalog(), f.Requests); err != nil {
+			t.Fatalf("cap %g: %v", mbps, err)
+		}
+	}
+	_ = simtime.Time(0)
+}

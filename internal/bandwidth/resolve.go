@@ -1,0 +1,179 @@
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/routing"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+// Result reports a bandwidth-resolution pass.
+type Result struct {
+	Schedule   *schedule.Schedule
+	Reroutes   int
+	CostBefore units.Money
+	CostAfter  units.Money
+	// Unresolved lists overloads that no feasible reroute could clear
+	// (every alternative route was itself saturated or cut off).
+	Unresolved []Overload
+}
+
+// Delta returns the cost increase paid for bandwidth feasibility.
+func (r *Result) Delta() units.Money { return r.CostAfter - r.CostBefore }
+
+// Resolve reroutes streams until no capped link is overloaded (or no
+// further reroute is feasible). Victim streams are chosen per overload by
+// minimum incremental network cost of the detour. A reroute is only
+// accepted when the detour does not overload any other capped link during
+// the stream's window and every residency fed by the stream remains on the
+// new route.
+//
+// The input schedule is not modified.
+func Resolve(m *cost.Model, s *schedule.Schedule, caps Capacities) (*Result, error) {
+	topo := m.Book().Topology()
+	work := s.Clone()
+	res := &Result{Schedule: work, CostBefore: m.ScheduleCost(s)}
+
+	maxIter := 10 * (work.NumDeliveries() + 1)
+	for iter := 0; ; iter++ {
+		usage := Analyze(topo, m.Catalog(), work)
+		overloads := usage.Overloads(caps)
+		overloads = filterResolved(overloads, res.Unresolved)
+		if len(overloads) == 0 {
+			break
+		}
+		if iter >= maxIter {
+			return nil, fmt.Errorf("bandwidth: no convergence after %d reroutes", iter)
+		}
+		of := overloads[0]
+		vid, di, newRoute, ok := pickReroute(m, work, usage, caps, of)
+		if !ok {
+			res.Unresolved = append(res.Unresolved, of)
+			continue
+		}
+		work.Files[vid].Deliveries[di].Route = newRoute
+		res.Reroutes++
+	}
+	res.CostAfter = m.ScheduleCost(work)
+	return res, nil
+}
+
+// filterResolved drops overloads already declared unresolvable so the loop
+// can terminate with a partial result.
+func filterResolved(ovs, unresolved []Overload) []Overload {
+	if len(unresolved) == 0 {
+		return ovs
+	}
+	kept := ovs[:0]
+	for _, o := range ovs {
+		skip := false
+		for _, u := range unresolved {
+			if o.Edge == u.Edge && o.Interval.Overlaps(u.Interval) {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			kept = append(kept, o)
+		}
+	}
+	return kept
+}
+
+// pickReroute chooses the stream crossing the overloaded (edge, window)
+// whose cheapest feasible detour has the minimum incremental cost.
+func pickReroute(m *cost.Model, work *schedule.Schedule, usage *Usage, caps Capacities, of Overload) (bestVid media.VideoID, bestIdx int, bestRoute routing.Route, found bool) {
+	topo := m.Book().Topology()
+	book := m.Book()
+	bestDelta := math.Inf(1)
+
+	for _, vid := range work.VideoIDs() {
+		fs := work.Files[vid]
+		v := m.Catalog().Video(vid)
+		for di, d := range fs.Deliveries {
+			window := simtime.NewInterval(d.Start, d.Start.Add(v.Playback))
+			if !window.Overlaps(of.Interval) && !window.Contains(of.Interval.Start) {
+				continue
+			}
+			if !routeUsesEdge(topo, d.Route, of.Edge) {
+				continue
+			}
+			// Residencies fed by this stream must stay on the detour.
+			newRoute, _, err := routing.RouteAvoiding(book, d.Src(), d.Dst(), func(e int) bool {
+				return e == of.Edge
+			})
+			if err != nil {
+				continue
+			}
+			if !feedsRemainOnRoute(fs, di, newRoute) {
+				continue
+			}
+			// The detour must not overload other capped links.
+			if detourOverloads(topo, usage, caps, d.Route, newRoute, window, float64(v.Rate)) {
+				continue
+			}
+			delta := float64(book.RouteRate(newRoute)-book.RouteRate(d.Route)) * v.StreamBytes().Float()
+			if delta < bestDelta {
+				bestDelta = delta
+				bestVid, bestIdx, bestRoute, found = vid, di, newRoute, true
+			}
+		}
+	}
+	return bestVid, bestIdx, bestRoute, found
+}
+
+func routeUsesEdge(topo *topology.Topology, r routing.Route, edge int) bool {
+	for h := 1; h < len(r); h++ {
+		if ei, ok := topo.EdgeBetween(r[h-1], r[h]); ok && ei == edge {
+			return true
+		}
+	}
+	return false
+}
+
+func feedsRemainOnRoute(fs *schedule.FileSchedule, di int, newRoute routing.Route) bool {
+	for _, c := range fs.Residencies {
+		if c.FedBy != di {
+			continue
+		}
+		on := false
+		for _, n := range newRoute {
+			if n == c.Loc {
+				on = true
+				break
+			}
+		}
+		if !on {
+			return false
+		}
+	}
+	return true
+}
+
+func detourOverloads(topo *topology.Topology, usage *Usage, caps Capacities, oldRoute, newRoute routing.Route, window simtime.Interval, rate float64) bool {
+	oldEdges := map[int]bool{}
+	for h := 1; h < len(oldRoute); h++ {
+		if ei, ok := topo.EdgeBetween(oldRoute[h-1], oldRoute[h]); ok {
+			oldEdges[ei] = true
+		}
+	}
+	for h := 1; h < len(newRoute); h++ {
+		ei, ok := topo.EdgeBetween(newRoute[h-1], newRoute[h])
+		if !ok {
+			return true
+		}
+		if oldEdges[ei] || !caps.Capped(ei) {
+			continue // already carried the stream, or uncapped
+		}
+		if float64(usage.MaxRateDuring(ei, window))+rate > float64(caps.Edge[ei])+1e-6 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package cost
+
+import (
+	"testing"
+
+	"github.com/vodsim/vsp/internal/pricing"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+// TestFlatEndToEndPricing exercises the paper's end-to-end charging basis
+// (§2.2.2): the operator quotes one flat rate per stream regardless of
+// route length. Under flat pricing a remote cache saves nothing on the
+// network (every remote stream costs the same), so only a LOCAL copy
+// (zero-hop service) reduces network cost.
+func TestFlatEndToEndPricing(t *testing.T) {
+	m, topo := fig2(t)
+	book := m.Book()
+	book.SetMode(pricing.EndToEnd)
+	flat := pricing.PerGB(100)
+	for _, a := range topo.Nodes() {
+		for _, b := range topo.Nodes() {
+			if a.ID != b.ID {
+				book.SetEndToEnd(a.ID, b.ID, flat)
+			}
+		}
+	}
+	vw := topo.Warehouse()
+	is1, _ := topo.Lookup("IS1")
+	is2, _ := topo.Lookup("IS2")
+
+	delivery := func(src, dst topology.NodeID) schedule.Delivery {
+		r, err := m.Table().Route(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return schedule.Delivery{Video: 0, User: 0, Start: 0, Route: r, SourceResidency: schedule.NoResidency}
+	}
+
+	long := m.DeliveryCost(delivery(vw, is2))   // 2 hops
+	short := m.DeliveryCost(delivery(is1, is2)) // 1 hop
+	if long != short {
+		t.Errorf("flat pricing must ignore distance: %v vs %v", long, short)
+	}
+	want := units.Money(4.05e9 * float64(flat))
+	if !long.ApproxEqual(want, 1e-6) {
+		t.Errorf("flat stream cost = %v, want %v", long, want)
+	}
+	// Local (zero-hop) service is free: src == dst has no override and the
+	// cheapest self-route rate is zero.
+	if local := m.DeliveryCost(delivery(is2, is2)); local != 0 {
+		t.Errorf("local service cost = %v, want 0", local)
+	}
+	// Back to per-hop: distance matters again.
+	book.SetMode(pricing.PerHop)
+	if m.DeliveryCost(delivery(vw, is2)) == m.DeliveryCost(delivery(is1, is2)) {
+		t.Error("per-hop pricing must distinguish distance")
+	}
+}

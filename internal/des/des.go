@@ -1,0 +1,108 @@
+// Package des is a minimal deterministic discrete-event engine: a clock and
+// a time-ordered event queue with FIFO ordering for simultaneous events.
+// The vodsim package drives schedule execution on top of it.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/vodsim/vsp/internal/simtime"
+)
+
+// Event is a callback scheduled at a point in simulated time.
+type Event func(now simtime.Time)
+
+type item struct {
+	at  simtime.Time
+	seq uint64
+	fn  Event
+}
+
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x any)   { *q = append(*q, x.(*item)) }
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded event loop. The zero value is NOT ready;
+// use New.
+type Engine struct {
+	q       queue
+	now     simtime.Time
+	seq     uint64
+	running bool
+}
+
+// New returns an engine with its clock at the given origin.
+func New(origin simtime.Time) *Engine {
+	return &Engine{now: origin}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// At schedules fn at the absolute time t. Scheduling in the past (before
+// the current clock) is an error, returned immediately.
+func (e *Engine) At(t simtime.Time, fn Event) error {
+	if t < e.now {
+		return fmt.Errorf("des: schedule at %v before now %v", t, e.now)
+	}
+	e.seq++
+	heap.Push(&e.q, &item{at: t, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn d after the current time.
+func (e *Engine) After(d simtime.Duration, fn Event) error {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Run dispatches events in time order until the queue is empty, advancing
+// the clock to each event's time. Events may schedule further events.
+func (e *Engine) Run() {
+	e.RunUntil(simtime.Time(1<<62 - 1))
+}
+
+// RunUntil dispatches events with time <= horizon; later events remain
+// queued and the clock stops at the horizon (or the last event, whichever
+// is later-bounded).
+func (e *Engine) RunUntil(horizon simtime.Time) {
+	if e.running {
+		panic("des: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.q) > 0 {
+		next := e.q[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&e.q)
+		e.now = next.at
+		next.fn(e.now)
+	}
+	if e.now < horizon && len(e.q) == 0 {
+		// Clock rests at the last dispatched event; callers who need the
+		// horizon reached can read Now() and decide. We deliberately do
+		// not jump the clock past the final event.
+		return
+	}
+}

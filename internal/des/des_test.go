@@ -1,0 +1,105 @@
+package des
+
+import (
+	"testing"
+
+	"github.com/vodsim/vsp/internal/simtime"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(0)
+	var order []int
+	add := func(at simtime.Time, id int) {
+		if err := e.At(at, func(simtime.Time) { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(30, 3)
+	add(10, 1)
+	add(20, 2)
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New(0)
+	var order []int
+	for i := 0; i < 5; i++ {
+		id := i
+		if err := e.At(42, func(simtime.Time) { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	e := New(0)
+	var got []simtime.Time
+	if err := e.At(10, func(now simtime.Time) {
+		got = append(got, now)
+		if err := e.After(5, func(now simtime.Time) { got = append(got, now) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestPastScheduleRejected(t *testing.T) {
+	e := New(100)
+	if err := e.At(50, func(simtime.Time) {}); err == nil {
+		t.Error("expected error scheduling in the past")
+	}
+	if err := e.At(100, func(simtime.Time) {}); err != nil {
+		t.Errorf("scheduling at now must work: %v", err)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(0)
+	fired := 0
+	for _, at := range []simtime.Time{10, 20, 30} {
+		if err := e.At(at, func(simtime.Time) { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 3 {
+		t.Errorf("fired = %d after Run, want 3", fired)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := New(0)
+	_ = e.At(1, func(simtime.Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on re-entrant Run")
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+}

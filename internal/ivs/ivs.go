@@ -1,0 +1,316 @@
+// Package ivs implements the Individual Video Scheduling phase of the
+// paper's two-phase heuristic (§3.2): the greedy find_video_schedule that
+// arranges the deliveries and residencies of one file's request set,
+// serving requests chronologically and choosing for each the supply point
+// with minimum incremental cost.
+//
+// The key mechanism is the tentative cache: the storage cost of a residency
+// (Eq. 2–3) is zero at span Δ = 0, so whenever a stream is scheduled the
+// greedy opens free zero-span residencies at every intermediate storage the
+// stream touches. Later requests may then be served by extending one of
+// those copies — paying the marginal storage cost Ψc(Δ′) − Ψc(Δ) plus the
+// remaining network transfer — or directly from the warehouse, whichever is
+// cheaper. Residencies that never serve anyone are pruned afterwards. This
+// is exactly the paper's step "(1) extend the resident period, (2)
+// introduce another intermediate storage, or (3) service from VW", and it
+// reproduces the paper's Fig. 2 example (schedule S2) to the cent.
+//
+// The same greedy, parameterized with capacity constraints and a banned
+// (interval, storage) pair, is the Rejective Greedy of phase 2 (§4.4).
+package ivs
+
+import (
+	"fmt"
+
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/occupancy"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Policy selects where tentative caches are opened.
+type Policy int
+
+const (
+	// CacheOnRoute opens a tentative residency at every intermediate
+	// storage a scheduled stream touches (destination included). This is
+	// the default and the paper-faithful behaviour: any storage a stream
+	// passes can copy its blocks.
+	CacheOnRoute Policy = iota
+	// CacheAtDestination opens a tentative residency only at the stream's
+	// destination storage. An ablation of the en-route caching mechanism.
+	CacheAtDestination
+	// NoCaching never caches: every request is served by a direct stream
+	// from the warehouse. This is the paper's "network only system"
+	// baseline (Figs. 5 and 7).
+	NoCaching
+)
+
+func (p Policy) String() string {
+	switch p {
+	case CacheOnRoute:
+		return "cache-on-route"
+	case CacheAtDestination:
+		return "cache-at-destination"
+	case NoCaching:
+		return "no-caching"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Options configures one ScheduleFile run.
+type Options struct {
+	// Policy selects the caching behaviour (default CacheOnRoute).
+	Policy Policy
+	// Ledger, when non-nil, makes the greedy rejective (paper §4.4): a
+	// copy is never placed or extended beyond what the storages' remaining
+	// capacity admits. The ledger must hold the residencies of all OTHER
+	// files; this file's own copies are registered into it as scheduling
+	// proceeds, so on return the ledger reflects the produced schedule.
+	Ledger *occupancy.Ledger
+	// Banned lists (interval, storage) pairs the file must not occupy,
+	// the constraint imposed on the overflow victim (paper §4.2).
+	Banned []occupancy.Banned
+	// Seeds are pre-placed standing copies of this video (strategic
+	// replication): already paid for over their whole span, so serving
+	// from one costs only the remaining network transfer. Seeds are
+	// never pruned, never extended, and exempt from Banned (they are
+	// placed infrastructure, not a scheduling choice).
+	Seeds []schedule.Residency
+}
+
+// moneyEps breaks cost ties deterministically: candidates within this
+// amount are considered equal and the earlier one wins.
+const moneyEps = 1e-9
+
+// ScheduleFile computes the schedule S_i for one file's request set. The
+// requests must all name the given video; they are served in chronological
+// order (the paper numbers users by service start time). The returned
+// schedule is pruned: every residency serves at least one delivery.
+func ScheduleFile(m *cost.Model, video media.VideoID, reqs []workload.Request, opts Options) (*schedule.FileSchedule, error) {
+	topo := m.Book().Topology()
+	v := m.Catalog().Video(video)
+	ordered := append([]workload.Request(nil), reqs...)
+	workload.SortChronological(ordered)
+
+	fs := &schedule.FileSchedule{Video: video}
+	for _, seed := range opts.Seeds {
+		if seed.Video != video {
+			return nil, fmt.Errorf("ivs: seed for video %d in schedule for video %d", seed.Video, video)
+		}
+		if seed.FedBy != schedule.PrePlacedFeed {
+			return nil, fmt.Errorf("ivs: seed at node %d is not marked pre-placed", seed.Loc)
+		}
+		seed.Services = nil
+		fs.Residencies = append(fs.Residencies, seed)
+		if opts.Ledger != nil {
+			opts.Ledger.Add(occupancy.Ref{Video: video, Index: len(fs.Residencies) - 1}, seed)
+		}
+	}
+	for _, r := range ordered {
+		if r.Video != video {
+			return nil, fmt.Errorf("ivs: request for video %d in batch for video %d", r.Video, video)
+		}
+		if int(r.User) < 0 || int(r.User) >= topo.NumUsers() {
+			return nil, fmt.Errorf("ivs: unknown user %d", r.User)
+		}
+		if err := serveOne(m, v, fs, r, opts); err != nil {
+			return nil, err
+		}
+	}
+	prune(fs, video, opts.Ledger)
+	return fs, nil
+}
+
+// serveOne schedules request r given the partial schedule fs, choosing the
+// minimum-incremental-cost supply point (paper §3.2 steps 2–3).
+func serveOne(m *cost.Model, v media.Video, fs *schedule.FileSchedule, r workload.Request, opts Options) error {
+	topo := m.Book().Topology()
+	dst := topo.User(r.User).Local
+
+	// Candidate 0: direct from the warehouse (always feasible — the
+	// warehouse stores everything and a direct stream uses no storage).
+	bestSrc := topo.Warehouse()
+	bestRes := schedule.NoResidency
+	bestCost := m.TransferCost(v.ID, topo.Warehouse(), dst)
+
+	for j := range fs.Residencies {
+		c := fs.Residencies[j]
+		if c.Load > r.Start {
+			continue // copy does not exist yet at service time
+		}
+		if c.FedBy == schedule.PrePlacedFeed {
+			// Standing copy: usable within its paid-for span at zero
+			// marginal storage cost regardless of the caching policy
+			// (it is placed infrastructure, not a scheduling choice);
+			// never extended, banned or capacity-checked.
+			if r.Start > c.LastService {
+				continue
+			}
+			candCost := m.TransferCost(v.ID, c.Loc, dst)
+			if candCost < bestCost-moneyEps {
+				bestCost = candCost
+				bestSrc = c.Loc
+				bestRes = j
+			}
+			continue
+		}
+		if opts.Policy == NoCaching {
+			continue // dynamic copies disabled
+		}
+		// Price first: the capacity and ban checks are the expensive
+		// part, and only candidates that would win need them.
+		candCost := m.ExtendCost(c, r.Start) + m.TransferCost(v.ID, c.Loc, dst)
+		if candCost >= bestCost-moneyEps {
+			continue
+		}
+		extended := c
+		extended.LastService = r.Start
+		if violatesAny(extended, v.Playback, opts.Banned) {
+			continue
+		}
+		if opts.Ledger != nil {
+			ref := occupancy.Ref{Video: v.ID, Index: j}
+			if !opts.Ledger.CanFitExcluding(extended, &ref) {
+				continue
+			}
+		}
+		bestCost = candCost
+		bestSrc = c.Loc
+		bestRes = j
+	}
+
+	route, err := m.Table().Route(bestSrc, dst)
+	if err != nil {
+		return fmt.Errorf("ivs: %w", err)
+	}
+	di := len(fs.Deliveries)
+	fs.Deliveries = append(fs.Deliveries, schedule.Delivery{
+		Video: v.ID, User: r.User, Start: r.Start,
+		Route: route, SourceResidency: bestRes,
+	})
+
+	if bestRes != schedule.NoResidency {
+		c := &fs.Residencies[bestRes]
+		c.Services = append(c.Services, di)
+		if r.Start > c.LastService {
+			c.LastService = r.Start
+		}
+		if opts.Ledger != nil {
+			opts.Ledger.Update(occupancy.Ref{Video: v.ID, Index: bestRes}, *c)
+		}
+	}
+
+	openTentative(m, v, fs, di, opts)
+	return nil
+}
+
+// openTentative opens zero-span residencies along the new delivery's route
+// per the caching policy. Zero-span copies cost nothing and occupy nothing,
+// so they are free options for later requests; unused ones are pruned.
+func openTentative(m *cost.Model, v media.Video, fs *schedule.FileSchedule, di int, opts Options) {
+	if opts.Policy == NoCaching {
+		return
+	}
+	topo := m.Book().Topology()
+	d := fs.Deliveries[di]
+	for _, node := range d.Route {
+		if node == d.Src() {
+			continue // the source already holds the file
+		}
+		if opts.Policy == CacheAtDestination && node != d.Dst() {
+			continue
+		}
+		if topo.Node(node).Kind != topology.KindStorage {
+			continue
+		}
+		cand := schedule.Residency{
+			Video: v.ID, Loc: node, Src: d.Src(),
+			Load: d.Start, LastService: d.Start, FedBy: di,
+		}
+		if duplicateTentative(fs, cand) {
+			continue
+		}
+		if violatesAny(cand, v.Playback, opts.Banned) {
+			continue
+		}
+		fs.Residencies = append(fs.Residencies, cand)
+		if opts.Ledger != nil {
+			opts.Ledger.Add(occupancy.Ref{Video: v.ID, Index: len(fs.Residencies) - 1}, cand)
+		}
+	}
+}
+
+// duplicateTentative reports whether a copy with the identical (node, load
+// time) already exists, which a new tentative copy could never improve on.
+// A node MAY hold several copies with different load times: a fresh copy
+// loaded by a later stream offers cheaper short-residency extensions than
+// an old copy whose span has already grown long.
+func duplicateTentative(fs *schedule.FileSchedule, cand schedule.Residency) bool {
+	for _, c := range fs.Residencies {
+		if c.Loc == cand.Loc && c.Load == cand.Load {
+			return true
+		}
+	}
+	return false
+}
+
+func violatesAny(c schedule.Residency, playback simtime.Duration, banned []occupancy.Banned) bool {
+	for _, bn := range banned {
+		if bn.Violates(c, playback) {
+			return true
+		}
+	}
+	return false
+}
+
+// prune removes residencies that serve no deliveries, remapping the
+// surviving indices in Deliveries and the ledger. Pre-placed standing
+// copies survive even when unused: their cost is already committed and
+// the schedule must account for it truthfully.
+func prune(fs *schedule.FileSchedule, video media.VideoID, ledger *occupancy.Ledger) {
+	remap := make([]int, len(fs.Residencies))
+	kept := fs.Residencies[:0]
+	for j := range fs.Residencies {
+		if len(fs.Residencies[j].Services) == 0 && fs.Residencies[j].FedBy != schedule.PrePlacedFeed {
+			remap[j] = -1
+			continue
+		}
+		remap[j] = len(kept)
+		kept = append(kept, fs.Residencies[j])
+	}
+	fs.Residencies = kept
+	for i := range fs.Deliveries {
+		if sr := fs.Deliveries[i].SourceResidency; sr != schedule.NoResidency {
+			fs.Deliveries[i].SourceResidency = remap[sr]
+		}
+	}
+	if ledger != nil {
+		ledger.RemoveVideo(video)
+		for j, c := range fs.Residencies {
+			ledger.Add(occupancy.Ref{Video: video, Index: j}, c)
+		}
+	}
+}
+
+// Direct returns the no-caching baseline schedule for one file: every
+// request served by a direct warehouse stream (the "network only system").
+func Direct(m *cost.Model, video media.VideoID, reqs []workload.Request) (*schedule.FileSchedule, error) {
+	return ScheduleFile(m, video, reqs, Options{Policy: NoCaching})
+}
+
+// Cost is a convenience wrapper returning Ψ(S_i) for a file schedule,
+// guarding against the NaN/Inf poisoning that would silently corrupt
+// greedy comparisons.
+func Cost(m *cost.Model, fs *schedule.FileSchedule) (units.Money, error) {
+	c := m.FileCost(fs)
+	if !c.IsFinite() || c < 0 {
+		return 0, fmt.Errorf("ivs: non-finite or negative schedule cost %v", c)
+	}
+	return c, nil
+}

@@ -1,0 +1,26 @@
+package media
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Encode writes the catalog as indented JSON (an array of videos).
+func (c *Catalog) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.videos)
+}
+
+// MarshalJSON encodes the catalog as its video array.
+func (c *Catalog) MarshalJSON() ([]byte, error) { return json.Marshal(c.videos) }
+
+// Decode reads a JSON video array and validates it into a catalog.
+func Decode(r io.Reader) (*Catalog, error) {
+	var videos []Video
+	if err := json.NewDecoder(r).Decode(&videos); err != nil {
+		return nil, fmt.Errorf("media: decode: %w", err)
+	}
+	return NewCatalog(videos)
+}

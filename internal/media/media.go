@@ -1,0 +1,158 @@
+// Package media models the video catalog held by the warehouse: every
+// title's size, playback length and reserved stream bandwidth. The cost
+// model charges network transfers P·B bytes (playback length times reserved
+// bandwidth) and storage residencies by file size, so these three attributes
+// fully determine a title's resource footprint (paper §2.2).
+package media
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+// VideoID identifies a title; IDs are dense indices into the catalog,
+// assigned in popularity-rank order (0 is the most popular title, matching
+// the Zipf workload generator's ranking).
+type VideoID int
+
+// Video is one title in the catalog.
+type Video struct {
+	ID       VideoID
+	Name     string
+	Size     units.Bytes       // total file size
+	Playback simtime.Duration  // playback length P_i
+	Rate     units.BytesPerSec // reserved stream bandwidth B_i
+}
+
+// StreamBytes returns the amortized network volume of one delivery of the
+// title: P_i · B_i bytes (paper §2.2.2).
+func (v Video) StreamBytes() units.Bytes { return v.Rate.Over(v.Playback) }
+
+// Validate checks the title's attributes are physically meaningful: the
+// reserved bandwidth must be able to deliver the whole file within its
+// playback length.
+func (v Video) Validate() error {
+	if v.Size <= 0 {
+		return fmt.Errorf("media: video %d has non-positive size %d", v.ID, v.Size)
+	}
+	if v.Playback <= 0 {
+		return fmt.Errorf("media: video %d has non-positive playback %d", v.ID, v.Playback)
+	}
+	if v.Rate <= 0 {
+		return fmt.Errorf("media: video %d has non-positive rate %v", v.ID, v.Rate)
+	}
+	if v.StreamBytes() < v.Size {
+		return fmt.Errorf("media: video %d reserved bandwidth %v cannot deliver %v in %v",
+			v.ID, v.Rate, v.Size, v.Playback)
+	}
+	return nil
+}
+
+// Catalog is an immutable list of titles indexed by VideoID.
+type Catalog struct {
+	videos []Video
+}
+
+// NewCatalog validates and wraps a list of videos. IDs must be dense and in
+// order (the constructors in this package guarantee that).
+func NewCatalog(videos []Video) (*Catalog, error) {
+	for i, v := range videos {
+		if v.ID != VideoID(i) {
+			return nil, fmt.Errorf("media: video at index %d has ID %d; IDs must be dense", i, v.ID)
+		}
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Catalog{videos: append([]Video(nil), videos...)}, nil
+}
+
+// Len returns the number of titles.
+func (c *Catalog) Len() int { return len(c.videos) }
+
+// Video returns the title with the given ID; it panics on an invalid ID.
+func (c *Catalog) Video(id VideoID) Video { return c.videos[id] }
+
+// Videos returns all titles in ID order. The slice is shared; do not modify.
+func (c *Catalog) Videos() []Video { return c.videos }
+
+// MeanSize returns the average title size.
+func (c *Catalog) MeanSize() units.Bytes {
+	if len(c.videos) == 0 {
+		return 0
+	}
+	var total float64
+	for _, v := range c.videos {
+		total += v.Size.Float()
+	}
+	return units.Bytes(math.Round(total / float64(len(c.videos))))
+}
+
+// Uniform builds a homogeneous catalog of n identical titles, the
+// configuration of the paper's worked example (2.5 GB, 90 min, 6 Mbps).
+func Uniform(n int, size units.Bytes, playback simtime.Duration, rate units.BytesPerSec) (*Catalog, error) {
+	videos := make([]Video, n)
+	for i := range videos {
+		videos[i] = Video{
+			ID:       VideoID(i),
+			Name:     fmt.Sprintf("video-%03d", i),
+			Size:     size,
+			Playback: playback,
+			Rate:     rate,
+		}
+	}
+	return NewCatalog(videos)
+}
+
+// GenConfig parameterizes the synthetic catalog generator. Zero fields take
+// the paper's Table 4 defaults: 500 titles averaging 3.3 GB.
+type GenConfig struct {
+	Titles   int         // number of titles (default 500)
+	MeanSize units.Bytes // average title size (default 3.3 GB)
+	Seed     int64       // RNG seed
+}
+
+// Generate builds a synthetic feature-film catalog. Playback lengths are
+// drawn uniformly from 75–105 minutes and stream reservations from the
+// common MPEG-2 service classes (4.5/6/7.5 Mbps); sizes are scaled so the
+// catalog's expected size matches MeanSize while every title still fits
+// within its reservation (Video.Validate holds for every generated title).
+func Generate(cfg GenConfig) (*Catalog, error) {
+	if cfg.Titles == 0 {
+		cfg.Titles = 500
+	}
+	if cfg.MeanSize == 0 {
+		cfg.MeanSize = units.GBf(3.3)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	classes := []units.BytesPerSec{units.Mbps(4.5), units.Mbps(6), units.Mbps(7.5)}
+
+	// Expected stream volume E[B·P] with B uniform over classes and P
+	// uniform over [75, 105] minutes; fill chooses the fraction of the
+	// reservation the file actually occupies, targeting MeanSize.
+	meanRate := (float64(classes[0]) + float64(classes[1]) + float64(classes[2])) / 3
+	meanPlay := (75 + 105) / 2.0 * 60
+	fill := cfg.MeanSize.Float() / (meanRate * meanPlay)
+	if fill >= 1 {
+		return nil, fmt.Errorf("media: mean size %v exceeds deliverable volume for default classes", cfg.MeanSize)
+	}
+
+	videos := make([]Video, cfg.Titles)
+	for i := range videos {
+		playback := simtime.Duration(75*60 + rng.Intn(30*60+1))
+		rate := classes[rng.Intn(len(classes))]
+		size := units.Bytes(math.Floor(fill * float64(rate) * playback.Seconds()))
+		videos[i] = Video{
+			ID:       VideoID(i),
+			Name:     fmt.Sprintf("video-%03d", i),
+			Size:     size,
+			Playback: playback,
+			Rate:     rate,
+		}
+	}
+	return NewCatalog(videos)
+}

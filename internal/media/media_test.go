@@ -1,0 +1,130 @@
+package media
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+func TestVideoStreamBytes(t *testing.T) {
+	// The paper's worked example: 6 Mbps for 90 min.
+	v := Video{ID: 0, Size: units.GBf(2.5), Playback: 90 * simtime.Minute, Rate: units.Mbps(6)}
+	if got := v.StreamBytes(); got != units.Bytes(4.05e9) {
+		t.Errorf("StreamBytes = %d, want 4.05e9", got)
+	}
+	if err := v.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestVideoValidate(t *testing.T) {
+	base := Video{ID: 0, Size: units.GB, Playback: simtime.Hour, Rate: units.Mbps(6)}
+	cases := []struct {
+		name string
+		mod  func(v Video) Video
+		ok   bool
+	}{
+		{"valid", func(v Video) Video { return v }, true},
+		{"zero size", func(v Video) Video { v.Size = 0; return v }, false},
+		{"negative size", func(v Video) Video { v.Size = -1; return v }, false},
+		{"zero playback", func(v Video) Video { v.Playback = 0; return v }, false},
+		{"zero rate", func(v Video) Video { v.Rate = 0; return v }, false},
+		{"undeliverable", func(v Video) Video { v.Size = 10 * units.GB; return v }, false},
+	}
+	for _, c := range cases {
+		err := c.mod(base).Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestUniformCatalog(t *testing.T) {
+	c, err := Uniform(10, units.GBf(2.5), 90*simtime.Minute, units.Mbps(6))
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.MeanSize() != units.GBf(2.5) {
+		t.Errorf("MeanSize = %v", c.MeanSize())
+	}
+	for i, v := range c.Videos() {
+		if v.ID != VideoID(i) {
+			t.Error("IDs not dense")
+		}
+	}
+	if c.Video(3).Name != "video-003" {
+		t.Errorf("name = %q", c.Video(3).Name)
+	}
+}
+
+func TestNewCatalogRejectsBadIDs(t *testing.T) {
+	_, err := NewCatalog([]Video{{ID: 1, Size: 1, Playback: 1, Rate: units.Mbps(600)}})
+	if err == nil {
+		t.Error("expected dense-ID error")
+	}
+	_, err = NewCatalog([]Video{{ID: 0, Size: 0, Playback: 1, Rate: 1}})
+	if err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	c, err := Generate(GenConfig{Titles: 200, MeanSize: units.GBf(3.3), Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if c.Len() != 200 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for _, v := range c.Videos() {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("generated title invalid: %v", err)
+		}
+		if v.Playback < 75*simtime.Minute || v.Playback > 105*simtime.Minute {
+			t.Errorf("playback %v out of range", v.Playback)
+		}
+	}
+	// Mean size within 10% of target (finite-sample noise).
+	got := c.MeanSize().Float()
+	want := units.GBf(3.3).Float()
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("mean size %v deviates from %v by >10%%", c.MeanSize(), units.GBf(3.3))
+	}
+}
+
+func TestGenerateDefaultsAndDeterminism(t *testing.T) {
+	a, err := Generate(GenConfig{Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if a.Len() != 500 {
+		t.Errorf("default titles = %d, want 500", a.Len())
+	}
+	b, _ := Generate(GenConfig{Seed: 7})
+	for i := range a.Videos() {
+		if a.Video(VideoID(i)) != b.Video(VideoID(i)) {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+}
+
+func TestGenerateRejectsOversizedMean(t *testing.T) {
+	if _, err := Generate(GenConfig{Titles: 5, MeanSize: 100 * units.GB, Seed: 1}); err == nil {
+		t.Error("expected error for undeliverable mean size")
+	}
+}
+
+func TestMeanSizeEmpty(t *testing.T) {
+	c := &Catalog{}
+	if c.MeanSize() != 0 {
+		t.Error("empty catalog mean size must be 0")
+	}
+}

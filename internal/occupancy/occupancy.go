@@ -1,0 +1,445 @@
+// Package occupancy tracks disk usage at every intermediate storage over
+// time and detects storage overflows (paper §4.1). The space requirement of
+// one residency is the piecewise-linear profile f_c of Eq. 6; the total at
+// a storage is the sum over resident copies, also piecewise linear with
+// breakpoints at every residency's Load, LastService and LastService+P.
+// Overflow detection is therefore exact: the maximum between breakpoints is
+// attained at a breakpoint, and capacity crossings are solved linearly.
+package occupancy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+)
+
+// eps absorbs float jitter when comparing byte quantities: occupancy sums
+// are products of ~1e9-byte sizes and unit-free coefficients, so anything
+// below a milli-byte is noise.
+const eps = 1e-3
+
+// Ref identifies a residency inside a global schedule.
+type Ref struct {
+	Video media.VideoID
+	Index int // index into the FileSchedule's Residencies
+}
+
+// Overflow is one storage overflow situation OF_{Δt, ISj}: at storage Node,
+// total occupancy exceeds capacity throughout Interval, peaking at Peak
+// bytes (Excess bytes above capacity).
+type Overflow struct {
+	Node     topology.NodeID
+	Interval simtime.Interval
+	Peak     float64
+	Excess   float64
+}
+
+func (o Overflow) String() string {
+	return fmt.Sprintf("overflow@%d %s peak=%.0fB excess=%.0fB", o.Node, o.Interval, o.Peak, o.Excess)
+}
+
+type entry struct {
+	ref      Ref
+	res      schedule.Residency
+	size     float64
+	playback simtime.Duration
+}
+
+// Ledger is the scheduler's view of disk usage at every storage. It is not
+// safe for concurrent mutation.
+type Ledger struct {
+	topo    *topology.Topology
+	catalog *media.Catalog
+	entries map[topology.NodeID][]entry
+}
+
+// NewLedger returns an empty ledger for the topology.
+func NewLedger(topo *topology.Topology, catalog *media.Catalog) *Ledger {
+	return &Ledger{
+		topo:    topo,
+		catalog: catalog,
+		entries: make(map[topology.NodeID][]entry),
+	}
+}
+
+// FromSchedule builds a ledger holding every residency of the schedule,
+// the integration step of paper §3.3.
+func FromSchedule(topo *topology.Topology, catalog *media.Catalog, s *schedule.Schedule) *Ledger {
+	l := NewLedger(topo, catalog)
+	for _, vid := range s.VideoIDs() {
+		fs := s.Files[vid]
+		for i, c := range fs.Residencies {
+			l.Add(Ref{Video: vid, Index: i}, c)
+		}
+	}
+	return l
+}
+
+// Add registers a residency under the given reference.
+func (l *Ledger) Add(ref Ref, c schedule.Residency) {
+	v := l.catalog.Video(c.Video)
+	l.entries[c.Loc] = append(l.entries[c.Loc], entry{
+		ref:      ref,
+		res:      c,
+		size:     v.Size.Float(),
+		playback: v.Playback,
+	})
+}
+
+// Update replaces the residency registered under ref (e.g. after extending
+// its LastService). It reports whether the ref was found.
+func (l *Ledger) Update(ref Ref, c schedule.Residency) bool {
+	for node, es := range l.entries {
+		for i := range es {
+			if es[i].ref == ref {
+				if node == c.Loc {
+					v := l.catalog.Video(c.Video)
+					es[i].res = c
+					es[i].size = v.Size.Float()
+					es[i].playback = v.Playback
+					return true
+				}
+				// Relocated: drop here and re-add at the new node.
+				l.entries[node] = append(es[:i], es[i+1:]...)
+				l.Add(ref, c)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Remove drops the residency registered under ref, reporting whether it was
+// found.
+func (l *Ledger) Remove(ref Ref) bool {
+	for node, es := range l.entries {
+		for i := range es {
+			if es[i].ref == ref {
+				l.entries[node] = append(es[:i], es[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of the ledger. The rejective greedy
+// evaluates candidate reschedules against clones so rejected candidates
+// leave the real ledger untouched.
+func (l *Ledger) Clone() *Ledger {
+	out := NewLedger(l.topo, l.catalog)
+	for node, es := range l.entries {
+		cp := make([]entry, len(es))
+		copy(cp, es)
+		out.entries[node] = cp
+	}
+	return out
+}
+
+// RemoveVideo drops every residency of the given video from the ledger,
+// the first step of rescheduling a victim file.
+func (l *Ledger) RemoveVideo(vid media.VideoID) {
+	for node, es := range l.entries {
+		kept := es[:0]
+		for _, e := range es {
+			if e.ref.Video != vid {
+				kept = append(kept, e)
+			}
+		}
+		l.entries[node] = kept
+	}
+}
+
+// NumEntries returns the number of residencies registered at the node.
+func (l *Ledger) NumEntries(node topology.NodeID) int { return len(l.entries[node]) }
+
+// SpaceAt returns the total occupancy at the node at time t, in bytes.
+func (l *Ledger) SpaceAt(node topology.NodeID, t simtime.Time) float64 {
+	total := 0.0
+	for _, e := range l.entries[node] {
+		total += e.res.SpaceAt(t, e.size, e.playback)
+	}
+	return total
+}
+
+// breakpoints returns the sorted distinct profile breakpoints of the node's
+// entries, optionally restricted to [window.Start, window.End] (endpoints
+// included so linear pieces at the window edges are evaluated).
+func (l *Ledger) breakpoints(node topology.NodeID, window *simtime.Interval) []simtime.Time {
+	var pts []simtime.Time
+	add := func(t simtime.Time) {
+		if window != nil && (t < window.Start || t > window.End) {
+			return
+		}
+		pts = append(pts, t)
+	}
+	for _, e := range l.entries[node] {
+		add(e.res.Load)
+		add(e.res.LastService)
+		add(e.res.LastService.Add(e.playback))
+	}
+	if window != nil {
+		pts = append(pts, window.Start, window.End)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	out := pts[:0]
+	var last simtime.Time
+	for i, t := range pts {
+		if i == 0 || t != last {
+			out = append(out, t)
+			last = t
+		}
+	}
+	return out
+}
+
+// Peak returns the maximum total occupancy ever reached at the node and a
+// time at which it is attained.
+func (l *Ledger) Peak(node topology.NodeID) (float64, simtime.Time) {
+	best, when := 0.0, simtime.Time(0)
+	for _, t := range l.breakpoints(node, nil) {
+		if s := l.SpaceAt(node, t); s > best {
+			best, when = s, t
+		}
+	}
+	return best, when
+}
+
+// jumpAt returns the instantaneous upward jump of the node's occupancy at
+// time t: copies reserve their peak space the moment loading starts, so the
+// profile jumps by the copy's value exactly at its Load breakpoint.
+func (l *Ledger) jumpAt(node topology.NodeID, t simtime.Time) float64 {
+	total := 0.0
+	for _, e := range l.entries[node] {
+		if e.res.Load == t {
+			total += e.res.SpaceAt(t, e.size, e.playback)
+		}
+	}
+	return total
+}
+
+// Overflows returns the maximal intervals during which the node's occupancy
+// strictly exceeds its capacity, in chronological order. The warehouse
+// never overflows (its capacity is unbounded by definition).
+//
+// Between breakpoints the total profile is linear; at a breakpoint it may
+// jump upward (a copy's space is reserved instantaneously at Load). The
+// walk therefore treats each piece [a, b) as the segment from the post-jump
+// value at a to the left limit at b, which is exact.
+func (l *Ledger) Overflows(node topology.NodeID) []Overflow {
+	if l.topo.Node(node).Kind == topology.KindWarehouse {
+		return nil
+	}
+	capacity := l.topo.Node(node).Capacity.Float()
+	pts := l.breakpoints(node, nil)
+	if len(pts) == 0 {
+		return nil
+	}
+	over := func(s float64) bool { return s > capacity+eps }
+
+	var out []Overflow
+	open := false
+	var start simtime.Time
+	peak := 0.0
+	closeAt := func(end simtime.Time) {
+		out = append(out, Overflow{
+			Node:     node,
+			Interval: simtime.Interval{Start: start, End: end},
+			Peak:     peak,
+			Excess:   peak - capacity,
+		})
+		open = false
+		peak = 0
+	}
+
+	for i := 0; i+1 <= len(pts); i++ {
+		a := pts[i]
+		sa := l.SpaceAt(node, a) // post-jump value at a
+		var b simtime.Time
+		var sb float64 // left limit approaching b
+		last := i+1 == len(pts)
+		if last {
+			// After the final breakpoint every profile is zero.
+			b, sb = a, sa
+		} else {
+			b = pts[i+1]
+			sb = l.SpaceAt(node, b) - l.jumpAt(node, b)
+		}
+		if !open {
+			switch {
+			case over(sa):
+				open, start, peak = true, a, sa
+			case !last && over(sb):
+				// Segment ramps above capacity strictly inside (a, b).
+				open, start, peak = true, crossing(a, sa, b, sb, capacity), sb
+			}
+		}
+		if open {
+			if sa > peak {
+				peak = sa
+			}
+			if sb > peak {
+				peak = sb
+			}
+			switch {
+			case last:
+				closeAt(a)
+			case !over(sb):
+				closeAt(crossing(a, sa, b, sb, capacity))
+			}
+		}
+	}
+	if open {
+		closeAt(pts[len(pts)-1])
+	}
+	return mergeOverflows(out)
+}
+
+// crossing solves for the time where the line through (t0,s0)-(t1,s1)
+// crosses the capacity level, rounded to the enclosing integer second so
+// overflow intervals are conservative (never narrower than reality).
+func crossing(t0 simtime.Time, s0 float64, t1 simtime.Time, s1 float64, capacity float64) simtime.Time {
+	if s1 == s0 {
+		return t0
+	}
+	frac := (capacity - s0) / (s1 - s0)
+	x := float64(t0) + frac*float64(t1-t0)
+	if s1 > s0 {
+		return simtime.Time(math.Floor(x)) // ascending: start earlier
+	}
+	return simtime.Time(math.Ceil(x)) // descending: end later
+}
+
+func mergeOverflows(ovs []Overflow) []Overflow {
+	if len(ovs) <= 1 {
+		return ovs
+	}
+	out := ovs[:1]
+	for _, o := range ovs[1:] {
+		last := &out[len(out)-1]
+		if o.Interval.Start <= last.Interval.End {
+			if o.Interval.End > last.Interval.End {
+				last.Interval.End = o.Interval.End
+			}
+			if o.Peak > last.Peak {
+				last.Peak = o.Peak
+				last.Excess = o.Excess
+			}
+		} else {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// AllOverflows returns every overflow at every storage, ordered by node ID
+// then time.
+func (l *Ledger) AllOverflows() []Overflow {
+	var out []Overflow
+	for _, node := range l.topo.Storages() {
+		out = append(out, l.Overflows(node)...)
+	}
+	return out
+}
+
+// OverflowSet returns the references of the residencies at the node whose
+// space profile overlaps the interval — the candidate victims for the
+// overflow OF_{Δt, node} (paper §4.1).
+func (l *Ledger) OverflowSet(node topology.NodeID, iv simtime.Interval) []Ref {
+	var out []Ref
+	for _, e := range l.entries[node] {
+		// Widen by one second: Overflow intervals may be degenerate
+		// (single instant) and Support is half-open.
+		sup := e.res.Support(e.playback)
+		if sup.Start <= iv.End && iv.Start < sup.End {
+			out = append(out, e.ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Video != out[j].Video {
+			return out[i].Video < out[j].Video
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// CanFit reports whether adding the candidate residency to the node would
+// keep total occupancy within capacity at all times. The check is exact:
+// the combined profile is piecewise linear, so it suffices to test every
+// breakpoint inside the candidate's support.
+func (l *Ledger) CanFit(c schedule.Residency) bool {
+	return l.CanFitExcluding(c, nil)
+}
+
+// CanFitExcluding is CanFit with one registered residency disregarded: the
+// check for extending an existing copy passes the copy's own ref so its
+// pre-extension profile is not double counted.
+//
+// This sits on the greedy's innermost path, so it avoids the sorted
+// breakpoint list: the combined profile is piecewise linear with
+// breakpoints at every entry's Load/LastService/decay-end plus the
+// candidate's own, and its maximum is attained at one of them — the order
+// of evaluation is irrelevant.
+func (l *Ledger) CanFitExcluding(c schedule.Residency, exclude *Ref) bool {
+	node := c.Loc
+	if l.topo.Node(node).Kind == topology.KindWarehouse {
+		return true
+	}
+	v := l.catalog.Video(c.Video)
+	capacity := l.topo.Node(node).Capacity.Float()
+	size, playback := v.Size.Float(), v.Playback
+	sup := c.Support(playback)
+	if sup.Empty() {
+		// Zero-span tentative cache: peaks at γ=0, occupies nothing.
+		return true
+	}
+	fitsAt := func(t simtime.Time) bool {
+		if t < sup.Start || t > sup.End {
+			return true
+		}
+		have := l.SpaceAt(node, t)
+		if exclude != nil {
+			for _, e := range l.entries[node] {
+				if e.ref == *exclude {
+					have -= e.res.SpaceAt(t, e.size, e.playback)
+					break
+				}
+			}
+		}
+		return have+c.SpaceAt(t, size, playback) <= capacity+eps
+	}
+	if !fitsAt(c.Load) || !fitsAt(c.LastService) || !fitsAt(c.LastService.Add(playback)) {
+		return false
+	}
+	for _, e := range l.entries[node] {
+		if !fitsAt(e.res.Load) || !fitsAt(e.res.LastService) || !fitsAt(e.res.LastService.Add(e.playback)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Banned describes a forbidden (interval, storage) pair the rejective
+// greedy must respect when rescheduling a victim: the victim may not hold a
+// copy at Node whose profile overlaps Interval (paper §4.2).
+type Banned struct {
+	Node     topology.NodeID
+	Interval simtime.Interval
+}
+
+// Violates reports whether a candidate residency's space profile overlaps
+// the banned window at the banned node.
+func (bn Banned) Violates(c schedule.Residency, playback simtime.Duration) bool {
+	if c.Loc != bn.Node {
+		return false
+	}
+	sup := c.Support(playback)
+	// Endpoint-inclusive: an overflow interval may be a single instant.
+	return sup.Start <= bn.Interval.End && bn.Interval.Start < sup.End
+}

@@ -1,0 +1,203 @@
+// Package online implements a reactive caching baseline: the system the
+// paper's Video-On-Reservation model argues against. Requests are revealed
+// one at a time (no batch foreknowledge); each is served from the nearest
+// live copy, and the destination storage caches what passes through it,
+// evicting least-recently-used copies under space pressure.
+//
+// Contrasting this baseline with the two-phase offline scheduler isolates
+// the value of advance reservations (paper §1: the provider "can perform
+// global optimizations based on the user request information"): the online
+// system cannot size a copy's residency to its future readers, cannot pick
+// victims by global heat, and holds copies speculatively until evicted.
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Result summarizes an online run. The online system produces no offline
+// schedule artifact; its outcome is the cost it actually incurred.
+type Result struct {
+	Requests    int
+	CacheHits   int // requests served from some cached copy
+	LocalHits   int // served from the requester's own storage
+	Evictions   int
+	StorageCost units.Money
+	NetworkCost units.Money
+}
+
+// TotalCost returns the run's total service cost.
+func (r *Result) TotalCost() units.Money { return r.StorageCost + r.NetworkCost }
+
+// HitRate returns the fraction of requests served from cached copies.
+func (r *Result) HitRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.Requests)
+}
+
+// copy is one live cached title at a storage node.
+type copyState struct {
+	video    media.VideoID
+	loaded   simtime.Time
+	lastUse  simtime.Time
+	size     units.Bytes
+	playback simtime.Duration
+	// reading marks the end of the latest playback reading this copy; a
+	// copy cannot be evicted while a reader depends on it.
+	readingUntil simtime.Time
+}
+
+// nodeCache is the LRU cache of one storage.
+type nodeCache struct {
+	copies []copyState
+	used   units.Bytes
+}
+
+// Run replays the batch through the reactive system and returns the
+// incurred cost. Policy:
+//
+//   - a request is served from the cheapest live copy (the rate book's
+//     cheapest route), the warehouse included;
+//   - after serving, the requester's local storage admits a copy of the
+//     title (filled from the passing stream, so no extra transfer) if the
+//     title is larger than the storage, admission is skipped;
+//   - admission evicts least-recently-used copies, never a copy still
+//     being read;
+//   - at the end of the cycle every surviving copy is discarded.
+//
+// Storage is charged per the paper's model over each copy's actual held
+// span Δ (Eq. 2–3 with tf−ts = eviction−load): the online system pays for
+// speculative retention that the offline scheduler never books.
+func Run(m *cost.Model, reqs workload.Set) (*Result, error) {
+	topo := m.Book().Topology()
+	ordered := append(workload.Set(nil), reqs...)
+	workload.SortChronological(ordered)
+
+	caches := make([]nodeCache, topo.NumNodes())
+	res := &Result{}
+
+	evict := func(node topology.NodeID, idx int, at simtime.Time) {
+		nc := &caches[node]
+		c := nc.copies[idx]
+		span := at.Sub(c.loaded)
+		res.StorageCost += cost.SpanCost(m.Book().SRate(node), c.size, c.playback, span)
+		nc.used -= c.size
+		nc.copies = append(nc.copies[:idx], nc.copies[idx+1:]...)
+	}
+
+	for _, r := range ordered {
+		if int(r.User) < 0 || int(r.User) >= topo.NumUsers() {
+			return nil, fmt.Errorf("online: unknown user %d", r.User)
+		}
+		if int(r.Video) < 0 || int(r.Video) >= m.Catalog().Len() {
+			return nil, fmt.Errorf("online: unknown video %d", r.Video)
+		}
+		v := m.Catalog().Video(r.Video)
+		dst := topo.User(r.User).Local
+		res.Requests++
+
+		// Cheapest live source: warehouse, or any node holding the title.
+		bestSrc := topo.Warehouse()
+		bestRate := m.Table().Rate(topo.Warehouse(), dst)
+		fromCache := false
+		for n := range caches {
+			node := topology.NodeID(n)
+			for i := range caches[n].copies {
+				if caches[n].copies[i].video != r.Video {
+					continue
+				}
+				if rate := m.Table().Rate(node, dst); rate < bestRate {
+					bestRate, bestSrc, fromCache = rate, node, true
+				} else if node == dst && rate == bestRate {
+					// Prefer the local copy on rate ties.
+					bestSrc, fromCache = node, true
+				}
+			}
+		}
+		res.NetworkCost += units.Money(v.StreamBytes().Float() * float64(bestRate))
+		if fromCache {
+			res.CacheHits++
+			if bestSrc == dst {
+				res.LocalHits++
+			}
+			// Touch the source copy.
+			nc := &caches[bestSrc]
+			for i := range nc.copies {
+				if nc.copies[i].video == r.Video {
+					nc.copies[i].lastUse = r.Start
+					if end := r.Start.Add(v.Playback); end > nc.copies[i].readingUntil {
+						nc.copies[i].readingUntil = end
+					}
+					break
+				}
+			}
+		}
+
+		// Admit a local copy from the passing stream (if absent).
+		admit(m, caches, dst, r, v, res, evict)
+	}
+
+	// Cycle end: discard every surviving copy, paying for its held span.
+	// Copies drain after their final reader, so the span closes at
+	// max(lastUse + P, load).
+	for n := range caches {
+		node := topology.NodeID(n)
+		for len(caches[n].copies) > 0 {
+			c := caches[n].copies[0]
+			end := simtime.Max(c.lastUse.Add(c.playback), c.loaded)
+			evict(node, 0, end)
+		}
+	}
+	return res, nil
+}
+
+func admit(m *cost.Model, caches []nodeCache, dst topology.NodeID, r workload.Request,
+	v media.Video, res *Result, evict func(topology.NodeID, int, simtime.Time)) {
+
+	capacity := m.Book().Topology().Node(dst).Capacity
+	if v.Size > capacity {
+		return // title cannot fit at all
+	}
+	nc := &caches[dst]
+	for i := range nc.copies {
+		if nc.copies[i].video == r.Video {
+			return // already cached locally
+		}
+	}
+	// Evict LRU copies (not currently read) until the title fits.
+	for nc.used+v.Size > capacity {
+		candidates := make([]int, 0, len(nc.copies))
+		for i := range nc.copies {
+			if nc.copies[i].readingUntil <= r.Start {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			return // everything pinned by readers; skip admission
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			return nc.copies[candidates[a]].lastUse < nc.copies[candidates[b]].lastUse
+		})
+		evict(dst, candidates[0], r.Start)
+		res.Evictions++
+	}
+	nc.copies = append(nc.copies, copyState{
+		video:        r.Video,
+		loaded:       r.Start,
+		lastUse:      r.Start,
+		size:         v.Size,
+		playback:     v.Playback,
+		readingUntil: r.Start.Add(v.Playback),
+	})
+	nc.used += v.Size
+}

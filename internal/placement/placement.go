@@ -1,0 +1,173 @@
+// Package placement implements strategic replication: choosing standing
+// copies of popular titles to pre-load at intermediate storages before the
+// scheduling cycle. The paper's companion work ([16], "Strategic
+// Replication of Video Files in a Distributed Environment", by the same
+// authors) studies exactly this; here it complements the reactive two-phase
+// scheduler — pre-placed copies serve requests at zero marginal storage
+// cost, and the scheduler's greedy picks them up automatically via
+// ivs.Options.Seeds.
+//
+// The planner is expectation-greedy: for every (title, storage) pair it
+// estimates the cycle's expected local demand from the Zipf popularity
+// model, prices the standing copy (bulk pre-load plus the full-span
+// storage booking), and takes positive-gain placements per storage in gain
+// order while capacity lasts. Placements never exceed a storage's
+// capacity on their own, so overflow resolution always retains enough
+// freedom to strip the dynamic copies.
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Config parameterizes the planner. Zero values take the paper's workload
+// defaults (α = 0.271, 12 h window, one request per user).
+type Config struct {
+	Alpha           float64          // expected popularity skew
+	Window          simtime.Duration // standing-copy holding span
+	RequestsPerUser int              // expected reservations per user
+	MaxPerNode      int              // cap on copies per storage (0 = capacity-only)
+	// CapacityFraction bounds how much of each storage the planner may
+	// book (default 0.5), leaving headroom for the scheduler's dynamic
+	// copies and guaranteeing overflow resolution can always succeed.
+	CapacityFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.271
+	}
+	if c.Window == 0 {
+		c.Window = 12 * simtime.Hour
+	}
+	if c.RequestsPerUser == 0 {
+		c.RequestsPerUser = 1
+	}
+	if c.CapacityFraction == 0 {
+		c.CapacityFraction = 0.5
+	}
+	return c
+}
+
+// Placement is one planned standing copy with its expected economics.
+type Placement struct {
+	Copy            schedule.Residency
+	ExpectedDemand  float64     // expected local requests over the cycle
+	ExpectedBenefit units.Money // direct streams avoided
+	CommittedCost   units.Money // pre-load transfer + full-span storage
+}
+
+// Gain returns the placement's expected net benefit.
+func (p Placement) Gain() units.Money { return p.ExpectedBenefit - p.CommittedCost }
+
+// Plan is the planner's output.
+type Plan struct {
+	Placements []Placement
+	// ExpectedGain sums the placements' expected net benefits.
+	ExpectedGain units.Money
+}
+
+// Seeds groups the planned copies per video, the form the scheduler
+// consumes.
+func (p *Plan) Seeds() map[media.VideoID][]schedule.Residency {
+	out := make(map[media.VideoID][]schedule.Residency)
+	for _, pl := range p.Placements {
+		out[pl.Copy.Video] = append(out[pl.Copy.Video], pl.Copy)
+	}
+	return out
+}
+
+// NumCopies returns the total planned copies.
+func (p *Plan) NumCopies() int { return len(p.Placements) }
+
+// Build computes a placement plan for the model's infrastructure.
+func Build(m *cost.Model, cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CapacityFraction < 0 || cfg.CapacityFraction > 1 {
+		return nil, fmt.Errorf("placement: capacity fraction must be in [0,1], got %g", cfg.CapacityFraction)
+	}
+	topo := m.Book().Topology()
+	catalog := m.Catalog()
+	if catalog.Len() == 0 {
+		return nil, fmt.Errorf("placement: empty catalog")
+	}
+	zipf, err := workload.NewZipf(catalog.Len(), cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	windowEnd := simtime.Time(cfg.Window)
+
+	plan := &Plan{}
+	for _, node := range topo.Storages() {
+		users := len(topo.UsersAt(node))
+		if users == 0 {
+			continue
+		}
+		budget := units.Bytes(float64(topo.Node(node).Capacity) * cfg.CapacityFraction)
+		var candidates []Placement
+		for _, v := range catalog.Videos() {
+			draws := users * cfg.RequestsPerUser
+			pv := zipf.Prob(int(v.ID))
+			demand := pv * float64(draws)
+			// Benefit model: the dynamic scheduler already shares repeat
+			// requests through an on-demand copy, so a standing copy's
+			// dependable saving is the FIRST local stream it replaces —
+			// P(at least one local request) times the direct transfer —
+			// plus the dynamic copy's storage it obviates, approximated by
+			// half the window span at this storage's rate per expected
+			// repeat request.
+			firstHit := 1 - math.Pow(1-pv, float64(draws))
+			benefit := units.Money(float64(m.TransferCost(v.ID, topo.Warehouse(), node)) * firstHit)
+			if repeats := demand - firstHit; repeats > 0 {
+				dynSpan := cfg.Window / 2
+				benefit += units.Money(repeats) * cost.SpanCost(m.Book().SRate(node), v.Size, v.Playback, dynSpan) / units.Money(math.Max(1, demand))
+			}
+			copyRes := schedule.Residency{
+				Video: v.ID, Loc: node, Src: topo.Warehouse(),
+				Load: 0, LastService: windowEnd,
+				FedBy: schedule.PrePlacedFeed,
+			}
+			committed := m.ResidencyCost(copyRes) + m.PrePlacementCost(copyRes)
+			pl := Placement{
+				Copy:            copyRes,
+				ExpectedDemand:  demand,
+				ExpectedBenefit: benefit,
+				CommittedCost:   committed,
+			}
+			if pl.Gain() > 0 {
+				candidates = append(candidates, pl)
+			}
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].Gain() != candidates[b].Gain() {
+				return candidates[a].Gain() > candidates[b].Gain()
+			}
+			return candidates[a].Copy.Video < candidates[b].Copy.Video
+		})
+		var used units.Bytes
+		taken := 0
+		for _, pl := range candidates {
+			if cfg.MaxPerNode > 0 && taken >= cfg.MaxPerNode {
+				break
+			}
+			size := catalog.Video(pl.Copy.Video).Size
+			if used+size > budget {
+				continue
+			}
+			used += size
+			taken++
+			plan.Placements = append(plan.Placements, pl)
+			plan.ExpectedGain += pl.Gain()
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,169 @@
+// Package plot renders experiment figures as standalone SVG line charts,
+// so the regenerated paper figures can be eyeballed against the originals
+// without external tooling. The renderer is deliberately small: axes with
+// tick labels, one polyline per series, a legend, nothing else.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/vodsim/vsp/internal/experiment"
+	"github.com/vodsim/vsp/internal/stats"
+)
+
+// Options controls the rendering. Zero values take sensible defaults.
+type Options struct {
+	Width  int // default 720
+	Height int // default 480
+}
+
+// Default series colors (colorblind-safe-ish hues).
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginLeft   = 80.0
+	marginRight  = 24.0
+	marginTop    = 48.0
+	marginBottom = 56.0
+	legendRow    = 18.0
+)
+
+// WriteSVG renders the figure as an SVG document.
+func WriteSVG(w io.Writer, fig *experiment.Figure, opts Options) error {
+	if opts.Width <= 0 {
+		opts.Width = 720
+	}
+	if opts.Height <= 0 {
+		opts.Height = 480
+	}
+	var b strings.Builder
+	width, height := float64(opts.Width), float64(opts.Height)
+	legendH := legendRow * float64(len(fig.Series))
+	plotW := width - marginLeft - marginRight
+	plotH := height - marginTop - marginBottom - legendH
+
+	xMin, xMax, yMin, yMax, ok := bounds(fig.Series)
+	if !ok {
+		return fmt.Errorf("plot: figure %q has no data", fig.ID)
+	}
+	// Pad the y range and anchor near zero when the data allows it.
+	if yMin > 0 && yMin < yMax*0.5 {
+		yMin = 0
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	yMax += (yMax - yMin) * 0.05
+
+	sx := func(x float64) float64 { return marginLeft + (x-xMin)/(xMax-xMin)*plotW }
+	sy := func(y float64) float64 { return marginTop + plotH - (y-yMin)/(yMax-yMin)*plotH }
+
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, opts.Height)
+	fmt.Fprintf(&b, `<text x="%g" y="24" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(fig.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := xMin + (xMax-xMin)*float64(i)/4
+		px := sx(fx)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			px, marginTop+plotH, px, marginTop+plotH+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+			px, marginTop+plotH+20, tick(fx))
+		fy := yMin + (yMax-yMin)*float64(i)/4
+		py := sy(fy)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			marginLeft-5, py, marginLeft, py)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%s</text>`+"\n",
+			marginLeft-8, py+4, tick(fy))
+		// Light horizontal grid.
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			marginLeft, py, marginLeft+plotW, py)
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, marginTop+plotH+40, escape(fig.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(fig.YLabel))
+
+	// Series.
+	for si, s := range fig.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(p.X), sy(p.Y)))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n", sx(p.X), sy(p.Y), color)
+		}
+		// Legend row.
+		ly := marginTop + plotH + 48 + legendRow*float64(si) + 8
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1.8"/>`+"\n",
+			marginLeft, ly-4, marginLeft+24, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`+"\n", marginLeft+30, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func bounds(series []stats.Series) (xMin, xMax, yMin, yMax float64, ok bool) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			xMin, xMax = math.Min(xMin, p.X), math.Max(xMax, p.X)
+			yMin, yMax = math.Min(yMin, p.Y), math.Max(yMax, p.Y)
+			ok = true
+		}
+	}
+	return xMin, xMax, yMin, yMax, ok
+}
+
+// tick formats an axis value compactly (500000 -> 500k).
+func tick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return trimZero(fmt.Sprintf("%.1fM", v/1e6))
+	case av >= 1e3:
+		return trimZero(fmt.Sprintf("%.0fk", v/1e3))
+	case av == 0:
+		return "0"
+	case av < 1:
+		return fmt.Sprintf("%.2g", v)
+	default:
+		return trimZero(fmt.Sprintf("%.1f", v))
+	}
+}
+
+func trimZero(s string) string {
+	s = strings.Replace(s, ".0M", "M", 1)
+	s = strings.Replace(s, ".0k", "k", 1)
+	return strings.TrimSuffix(s, ".0")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,105 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/experiment"
+	"github.com/vodsim/vsp/internal/stats"
+)
+
+func sample() *experiment.Figure {
+	s1 := stats.Series{Name: "with storage"}
+	s1.Add(300, 374000)
+	s1.Add(500, 624000)
+	s1.Add(1000, 1248000)
+	s2 := stats.Series{Name: `baseline & "direct"`}
+	s2.Add(300, 404000)
+	s2.Add(500, 674000)
+	s2.Add(1000, 1348000)
+	return &experiment.Figure{
+		ID: "figX", Title: "sample <figure>", XLabel: "nrate", YLabel: "cost ($)",
+		Series: []stats.Series{s1, s2},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSVG(&sb, sample(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Must be well-formed XML (escaping of & < > " included).
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "circle", "with storage", "&amp;", "&lt;figure&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One polyline per series.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	// One dot per point.
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Errorf("circles = %d, want 6", got)
+	}
+}
+
+func TestWriteSVGCustomSize(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSVG(&sb, sample(), Options{Width: 1000, Height: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `width="1000" height="600"`) {
+		t.Error("custom size not applied")
+	}
+}
+
+func TestWriteSVGEmptyFigure(t *testing.T) {
+	var sb strings.Builder
+	err := WriteSVG(&sb, &experiment.Figure{ID: "empty"}, Options{})
+	if err == nil {
+		t.Error("expected error for empty figure")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	s := stats.Series{Name: "flat"}
+	s.Add(5, 100)
+	fig := &experiment.Figure{ID: "d", Title: "d", Series: []stats.Series{s}}
+	var sb strings.Builder
+	if err := WriteSVG(&sb, fig, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") || strings.Contains(sb.String(), "Inf") {
+		t.Error("degenerate figure produced NaN/Inf coordinates")
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.271:   "0.27",
+		5:       "5",
+		1500:    "2k", // %.0fk rounds
+		500000:  "500k",
+		1250000: "1.2M",
+	}
+	for in, want := range cases {
+		if got := tick(in); got != want {
+			t.Errorf("tick(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+func topo3(t *testing.T) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder()
+	vw := b.Warehouse("VW")
+	is1 := b.Storage("IS1", 5*units.GB)
+	is2 := b.Storage("IS2", 5*units.GB)
+	b.Connect(vw, is1)
+	b.Connect(is1, is2)
+	b.AttachUsers(is1, 1)
+	b.AttachUsers(is2, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestUniformBook(t *testing.T) {
+	topo := topo3(t)
+	book := Uniform(topo, PerGBSec(5), PerGB(300))
+	if book.Topology() != topo {
+		t.Error("Topology() mismatch")
+	}
+	if book.Mode() != PerHop {
+		t.Error("default mode must be per-hop")
+	}
+	vw := topo.Warehouse()
+	if book.SRate(vw) != 0 {
+		t.Error("warehouse srate must be zero")
+	}
+	is1, _ := topo.Lookup("IS1")
+	want := SRate(5.0 / 1e9)
+	if math.Abs(float64(book.SRate(is1)-want)) > 1e-18 {
+		t.Errorf("srate = %v, want %v", book.SRate(is1), want)
+	}
+	for i := 0; i < topo.NumEdges(); i++ {
+		if math.Abs(float64(book.NRate(i))-300.0/1e9) > 1e-18 {
+			t.Errorf("nrate edge %d = %v", i, book.NRate(i))
+		}
+	}
+}
+
+func TestRateConversions(t *testing.T) {
+	// 1 $/GB·s on a 2.5 GB file for 1 hour: 2.5e9 bytes * 3600 s * 1/1e9.
+	s := PerGBSec(1)
+	cost := float64(s) * 2.5e9 * 3600
+	if math.Abs(cost-9000) > 1e-6 {
+		t.Errorf("storage cost = %g, want 9000", cost)
+	}
+	n := PerGB(300)
+	if math.Abs(float64(n)*1e9-300) > 1e-9 {
+		t.Errorf("PerGB(300) round trip failed: %v", n)
+	}
+}
+
+func TestSetters(t *testing.T) {
+	topo := topo3(t)
+	book := Uniform(topo, PerGBSec(3), PerGB(500))
+	is1, _ := topo.Lookup("IS1")
+	if err := book.SetSRate(is1, PerGBSec(7)); err != nil {
+		t.Fatalf("SetSRate: %v", err)
+	}
+	if book.SRate(is1) != PerGBSec(7) {
+		t.Error("SetSRate not applied")
+	}
+	if err := book.SetSRate(topo.Warehouse(), PerGBSec(1)); err == nil {
+		t.Error("expected error setting warehouse srate")
+	}
+	if err := book.SetSRate(topo.Warehouse(), 0); err != nil {
+		t.Error("setting warehouse srate to zero must be allowed")
+	}
+	book.SetNRate(0, PerGB(50))
+	if book.NRate(0) != PerGB(50) {
+		t.Error("SetNRate not applied")
+	}
+}
+
+func TestEndToEndOverride(t *testing.T) {
+	topo := topo3(t)
+	book := Uniform(topo, PerGBSec(3), PerGB(500))
+	vw := topo.Warehouse()
+	is2, _ := topo.Lookup("IS2")
+	if _, ok := book.EndToEndOverride(vw, is2); ok {
+		t.Error("unexpected override present")
+	}
+	book.SetEndToEnd(vw, is2, PerGB(123))
+	got, ok := book.EndToEndOverride(vw, is2)
+	if !ok || got != PerGB(123) {
+		t.Errorf("override = %v ok=%v", got, ok)
+	}
+	if _, ok := book.EndToEndOverride(is2, vw); ok {
+		t.Error("override must be ordered")
+	}
+}
+
+func TestRouteRate(t *testing.T) {
+	topo := topo3(t)
+	book := Uniform(topo, PerGBSec(3), PerGB(100))
+	vw := topo.Warehouse()
+	is1, _ := topo.Lookup("IS1")
+	is2, _ := topo.Lookup("IS2")
+	got := book.RouteRate([]topology.NodeID{vw, is1, is2})
+	if math.Abs(float64(got-PerGB(200))) > 1e-18 {
+		t.Errorf("RouteRate = %v, want %v", got, PerGB(200))
+	}
+	if book.RouteRate([]topology.NodeID{vw}) != 0 {
+		t.Error("single-node route must be free")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-adjacent hop")
+		}
+	}()
+	book.RouteRate([]topology.NodeID{vw, is2})
+}
+
+func TestModeString(t *testing.T) {
+	if PerHop.String() != "per-hop" || EndToEnd.String() != "end-to-end" {
+		t.Error("Mode.String wrong")
+	}
+	if Mode(7).String() != "Mode(7)" {
+		t.Error("unknown mode string wrong")
+	}
+}
+
+func TestRandomizedRates(t *testing.T) {
+	topo := topo3(t)
+	book := Uniform(topo, 0, 0)
+	book.RandomizeSRates(PerGBSec(1), PerGBSec(5), 7)
+	book.RandomizeNRates(PerGB(100), PerGB(900), 7)
+	// Warehouse stays zero.
+	if book.SRate(topo.Warehouse()) != 0 {
+		t.Error("warehouse srate must remain zero")
+	}
+	for _, id := range topo.Storages() {
+		r := book.SRate(id)
+		if r < PerGBSec(1) || r > PerGBSec(5) {
+			t.Errorf("srate %v out of range", r)
+		}
+	}
+	for i := 0; i < topo.NumEdges(); i++ {
+		r := book.NRate(i)
+		if r < PerGB(100) || r > PerGB(900) {
+			t.Errorf("nrate %v out of range", r)
+		}
+	}
+	// Deterministic.
+	book2 := Uniform(topo, 0, 0)
+	book2.RandomizeSRates(PerGBSec(1), PerGBSec(5), 7)
+	for _, id := range topo.Storages() {
+		if book.SRate(id) != book2.SRate(id) {
+			t.Error("RandomizeSRates not deterministic")
+		}
+	}
+}

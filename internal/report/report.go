@@ -1,0 +1,233 @@
+// Package report renders experiment output as aligned ASCII tables and CSV,
+// the formats the command-line tools emit for each regenerated figure and
+// table of the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/vodsim/vsp/internal/experiment"
+	"github.com/vodsim/vsp/internal/sorp"
+)
+
+// WriteFigureTable renders a figure as an aligned text table: one row per
+// x value, one column per series.
+func WriteFigureTable(w io.Writer, fig *experiment.Figure) error {
+	if len(fig.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", fig.ID)
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(fig.ID), fig.Title)
+	fmt.Fprintf(&b, "y: %s\n", fig.YLabel)
+
+	headers := make([]string, 0, len(fig.Series)+1)
+	headers = append(headers, fig.XLabel)
+	for _, s := range fig.Series {
+		headers = append(headers, s.Name)
+	}
+	rows := [][]string{headers}
+	n := fig.Series[0].Len()
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(headers))
+		row = append(row, trimFloat(fig.Series[0].Points[i].X))
+		for _, s := range fig.Series {
+			if i < s.Len() {
+				row = append(row, fmt.Sprintf("%.0f", s.Points[i].Y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, rows)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFigureCSV renders a figure as CSV with an x column and one column
+// per series.
+func WriteFigureCSV(w io.Writer, fig *experiment.Figure) error {
+	var b strings.Builder
+	cols := []string{csvQuote(fig.XLabel)}
+	for _, s := range fig.Series {
+		cols = append(cols, csvQuote(s.Name))
+	}
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteByte('\n')
+	if len(fig.Series) == 0 {
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	n := fig.Series[0].Len()
+	for i := 0; i < n; i++ {
+		row := []string{trimFloat(fig.Series[0].Points[i].X)}
+		for _, s := range fig.Series {
+			if i < s.Len() {
+				row = append(row, strconv.FormatFloat(s.Points[i].Y, 'f', 2, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTable5 renders the heat-metric study in the shape of the paper's
+// Table 5, followed by the §5.5 cost-increase statistics.
+func WriteTable5(w io.Writer, t *experiment.Table5Result) error {
+	var b strings.Builder
+	b.WriteString("TABLE 5 — Performance of each heat metric\n")
+	rows := [][]string{
+		{"Total number of cases", strconv.Itoa(t.TotalCases)},
+		{"ΔCost by overflow resolution", strconv.Itoa(t.CostAffected)},
+		{"Method 1 (period, Eq. 8)", bestCell(t, sorp.Period)},
+		{"Method 2 (period/cost, Eq. 9)", bestCell(t, sorp.PeriodPerCost)},
+		{"Method 3 (space, Eq. 10)", bestCell(t, sorp.Space)},
+		{"Method 4 (space/cost, Eq. 11)", bestCell(t, sorp.SpacePerCost)},
+		{"Method 2 or Method 4", fmt.Sprintf("%d out of %d (%.0f%%)", t.Best2or4, t.CostAffected, t.Best2or4Pct())},
+	}
+	writeAligned(&b, rows)
+	fmt.Fprintf(&b, "\nCost increase by overflow resolution (Method 4): avg %.1f%%, worst %.1f%% (paper: 12%% avg, 34%% worst)\n",
+		t.DeltaPct.Mean, t.DeltaPct.Max)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteResults renders raw per-configuration results as CSV for further
+// analysis.
+func WriteResults(w io.Writer, rs []experiment.Result) error {
+	var b strings.Builder
+	b.WriteString("srate_gbh,nrate_gb,capacity_gb,alpha,requests,phase1_cost,final_cost,direct_cost,overflows,victims,delta_pct,savings_pct\n")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%g,%g,%g,%g,%d,%.2f,%.2f,%.2f,%d,%d,%.2f,%.2f\n",
+			r.Params.SRateGBHour, r.Params.NRateGB, r.Params.CapacityGB, r.Params.Alpha,
+			r.Requests, float64(r.Phase1Cost), float64(r.FinalCost), float64(r.DirectCost),
+			r.Overflows, r.Victims, r.DeltaPct(), r.SavingsPct())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func bestCell(t *experiment.Table5Result, m sorp.HeatMetric) string {
+	return fmt.Sprintf("%d out of %d (%.0f%%)", t.Best[m], t.CostAffected, t.BestPct(m))
+}
+
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if w := displayWidth(cell); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				for pad := displayWidth(cell); pad < widths[i]+2; pad++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// displayWidth counts runes, which is adequate for our ASCII-plus-Δ output.
+func displayWidth(s string) int { return len([]rune(s)) }
+
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteFigureMarkdown renders a figure as a GitHub-flavored markdown table,
+// the format EXPERIMENTS.md embeds.
+func WriteFigureMarkdown(w io.Writer, fig *experiment.Figure) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", strings.ToUpper(fig.ID), fig.Title)
+	if len(fig.Series) == 0 {
+		b.WriteString("(no data)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	b.WriteString("| " + fig.XLabel)
+	for _, s := range fig.Series {
+		b.WriteString(" | " + s.Name)
+	}
+	b.WriteString(" |\n|")
+	for i := 0; i <= len(fig.Series); i++ {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	n := fig.Series[0].Len()
+	for i := 0; i < n; i++ {
+		b.WriteString("| " + trimFloat(fig.Series[0].Points[i].X))
+		for _, s := range fig.Series {
+			if i < s.Len() {
+				fmt.Fprintf(&b, " | %s", humanMoney(s.Points[i].Y))
+			} else {
+				b.WriteString(" | -")
+			}
+		}
+		b.WriteString(" |\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// humanMoney renders a cost with thousands separators for markdown tables.
+func humanMoney(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 0, 64)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	if neg {
+		return "-" + string(out)
+	}
+	return string(out)
+}
+
+// WriteTable5CSV renders the heat-metric study's per-case details as CSV:
+// one row per parameter combination with the final cost under each metric.
+func WriteTable5CSV(w io.Writer, t *experiment.Table5Result) error {
+	var b strings.Builder
+	b.WriteString("srate_gbh,capacity_gb,nrate_gb,alpha,overflows,phase1_cost,final_m1,final_m2,final_m3,final_m4\n")
+	for _, c := range t.Cases {
+		fmt.Fprintf(&b, "%g,%g,%g,%g,%d,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+			c.Params.SRateGBHour, c.Params.CapacityGB, c.Params.NRateGB, c.Params.Alpha,
+			c.Overflows, c.Phase1Cost,
+			c.FinalCost[sorp.Period], c.FinalCost[sorp.PeriodPerCost],
+			c.FinalCost[sorp.Space], c.FinalCost[sorp.SpacePerCost])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,65 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/vodsim/vsp/internal/pricing"
+	"github.com/vodsim/vsp/internal/topology"
+)
+
+// RouteAvoiding computes a cheapest src→dst route that uses no edge for
+// which banned returns true. It is the routing primitive of the bandwidth
+// extension: when a link is saturated during a stream's window, the stream
+// is rerouted around it. Returns the route and its summed per-hop rate.
+func RouteAvoiding(book *pricing.Book, src, dst topology.NodeID, banned func(edgeIdx int) bool) (Route, pricing.NRate, error) {
+	topo := book.Topology()
+	if src == dst {
+		return Route{src}, 0, nil
+	}
+	n := topo.NumNodes()
+	dist := make([]pricing.NRate, n)
+	prev := make([]topology.NodeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = pricing.NRate(math.Inf(1))
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		u := item.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		topo.Neighbors(u, func(edgeIdx int, v topology.NodeID) {
+			if done[v] || banned(edgeIdx) {
+				return
+			}
+			nd := dist[u] + book.NRate(edgeIdx)
+			if nd < dist[v] || (nd == dist[v] && prev[v] >= 0 && u < prev[v]) {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(pq, nodeItem{node: v, dist: nd})
+			}
+		})
+	}
+	if math.IsInf(float64(dist[dst]), 1) {
+		return nil, 0, fmt.Errorf("routing: no route %d->%d avoiding banned edges", src, dst)
+	}
+	var rev Route
+	for cur := dst; cur != src; cur = prev[cur] {
+		rev = append(rev, cur)
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist[dst], nil
+}

@@ -1,0 +1,125 @@
+package routing
+
+import (
+	"sort"
+
+	"github.com/vodsim/vsp/internal/pricing"
+	"github.com/vodsim/vsp/internal/topology"
+)
+
+// RatedRoute pairs a route with its summed per-hop rate.
+type RatedRoute struct {
+	Route Route
+	Rate  pricing.NRate
+}
+
+// KShortest returns up to k cheapest loopless routes from src to dst in
+// ascending rate order (Yen's algorithm). The paper's scheduler only needs
+// the cheapest route — a pricier path never lowers the current request's
+// cost — but alternative routes are what the bandwidth extension detours
+// onto, and operators use them to see how much slack a topology has
+// (§3.2 step 4: "there can be more than one path between any pair of
+// nodes").
+func KShortest(book *pricing.Book, src, dst topology.NodeID, k int) []RatedRoute {
+	if k <= 0 {
+		return nil
+	}
+	first, rate, err := RouteAvoiding(book, src, dst, func(int) bool { return false })
+	if err != nil {
+		return nil
+	}
+	result := []RatedRoute{{Route: first, Rate: rate}}
+	if k == 1 || src == dst {
+		return result
+	}
+
+	topo := book.Topology()
+	var candidates []RatedRoute
+	for len(result) < k {
+		prev := result[len(result)-1].Route
+		// For every spur node of the previous route, ban the outgoing
+		// edges used by already-found routes sharing the same prefix, ban
+		// the prefix's interior nodes, and find a spur path.
+		for i := 0; i < len(prev)-1; i++ {
+			spur := prev[i]
+			rootPath := prev[:i+1]
+
+			bannedEdges := map[int]bool{}
+			for _, rr := range result {
+				if len(rr.Route) > i && routesEqual(rr.Route[:i+1], rootPath) && len(rr.Route) > i+1 {
+					if ei, ok := topo.EdgeBetween(rr.Route[i], rr.Route[i+1]); ok {
+						bannedEdges[ei] = true
+					}
+				}
+			}
+			bannedNodes := map[topology.NodeID]bool{}
+			for _, n := range rootPath[:len(rootPath)-1] {
+				bannedNodes[n] = true
+			}
+
+			spurRoute, _, err := RouteAvoiding(book, spur, dst, func(ei int) bool {
+				if bannedEdges[ei] {
+					return true
+				}
+				e := topo.Edge(ei)
+				return bannedNodes[e.A] || bannedNodes[e.B]
+			})
+			if err != nil {
+				continue
+			}
+			total := append(Route{}, rootPath...)
+			total = append(total, spurRoute[1:]...)
+			if hasLoop(total) {
+				continue
+			}
+			rr := RatedRoute{Route: total, Rate: book.RouteRate(total)}
+			if !containsRoute(result, rr.Route) && !containsRoute(candidates, rr.Route) {
+				candidates = append(candidates, rr)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool {
+			if candidates[a].Rate != candidates[b].Rate {
+				return candidates[a].Rate < candidates[b].Rate
+			}
+			return len(candidates[a].Route) < len(candidates[b].Route)
+		})
+		result = append(result, candidates[0])
+		candidates = candidates[1:]
+	}
+	return result
+}
+
+func routesEqual(a, b Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasLoop(r Route) bool {
+	seen := map[topology.NodeID]bool{}
+	for _, n := range r {
+		if seen[n] {
+			return true
+		}
+		seen[n] = true
+	}
+	return false
+}
+
+func containsRoute(rs []RatedRoute, r Route) bool {
+	for _, rr := range rs {
+		if routesEqual(rr.Route, r) {
+			return true
+		}
+	}
+	return false
+}

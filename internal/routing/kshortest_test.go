@@ -1,0 +1,154 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/pricing"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+// diamond: VW has two disjoint 2-hop paths to IS3 plus a 3-hop detour.
+func diamondBook(t *testing.T) (*pricing.Book, *topology.Topology) {
+	t.Helper()
+	b := topology.NewBuilder()
+	vw := b.Warehouse("VW")
+	is1 := b.Storage("IS1", units.GB)
+	is2 := b.Storage("IS2", units.GB)
+	is3 := b.Storage("IS3", units.GB)
+	b.Connect(vw, is1)
+	b.Connect(vw, is2)
+	b.Connect(is1, is3)
+	b.Connect(is2, is3)
+	b.Connect(is1, is2)
+	b.AttachUsers(is3, 1)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := pricing.Uniform(topo, 0, pricing.PerGB(100))
+	// Make VW-IS2 pricier so path ranks are distinct.
+	e, _ := topo.EdgeBetween(vw, is2)
+	book.SetNRate(e, pricing.PerGB(150))
+	return book, topo
+}
+
+func TestKShortestOrdering(t *testing.T) {
+	book, topo := diamondBook(t)
+	vw := topo.Warehouse()
+	is3, _ := topo.Lookup("IS3")
+	routes := KShortest(book, vw, is3, 4)
+	if len(routes) < 3 {
+		t.Fatalf("routes = %d, want >= 3", len(routes))
+	}
+	// First route must be the cheapest (200/GB via IS1).
+	if math.Abs(float64(routes[0].Rate-pricing.PerGB(200))) > 1e-15 {
+		t.Errorf("first rate = %v, want 200/GB", routes[0].Rate)
+	}
+	// Ascending rates, loopless, distinct, correct endpoints.
+	seen := map[string]bool{}
+	for i, rr := range routes {
+		if i > 0 && rr.Rate < routes[i-1].Rate {
+			t.Errorf("routes not sorted at %d", i)
+		}
+		if rr.Route.Src() != vw || rr.Route.Dst() != is3 {
+			t.Errorf("route %d endpoints wrong: %v", i, rr.Route)
+		}
+		if hasLoop(rr.Route) {
+			t.Errorf("route %d has a loop: %v", i, rr.Route)
+		}
+		key := ""
+		for _, n := range rr.Route {
+			key += string(rune('a' + int(n)))
+		}
+		if seen[key] {
+			t.Errorf("duplicate route %v", rr.Route)
+		}
+		seen[key] = true
+		// Rate matches the priced route.
+		if math.Abs(float64(rr.Rate-book.RouteRate(rr.Route))) > 1e-15 {
+			t.Errorf("route %d rate mismatch", i)
+		}
+	}
+}
+
+func TestKShortestEdgeCases(t *testing.T) {
+	book, topo := diamondBook(t)
+	vw := topo.Warehouse()
+	is3, _ := topo.Lookup("IS3")
+	if KShortest(book, vw, is3, 0) != nil {
+		t.Error("k=0 must return nil")
+	}
+	one := KShortest(book, vw, is3, 1)
+	if len(one) != 1 {
+		t.Fatalf("k=1 returned %d", len(one))
+	}
+	self := KShortest(book, vw, vw, 3)
+	if len(self) != 1 || self[0].Route.Hops() != 0 {
+		t.Errorf("self routes = %v", self)
+	}
+	// Asking for more routes than exist returns all simple paths.
+	many := KShortest(book, vw, is3, 100)
+	if len(many) < 3 || len(many) > 10 {
+		t.Errorf("exhaustive route count = %d", len(many))
+	}
+}
+
+// TestKShortestMatchesBruteForce enumerates all simple paths on random
+// small graphs and checks the top-k agreement on rates.
+func TestKShortestMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		topo := topology.Random(topology.GenConfig{Storages: 6, UsersPerStorage: 1, Capacity: units.GB}, 4, seed)
+		book := pricing.Uniform(topo, 0, 0)
+		rng := rand.New(rand.NewSource(seed + 77))
+		for ei := 0; ei < topo.NumEdges(); ei++ {
+			book.SetNRate(ei, pricing.NRate(1+rng.Float64()*100))
+		}
+		src := topo.Warehouse()
+		dst := topo.Storages()[rng.Intn(topo.NumStorages())]
+
+		// Brute force: all simple paths with DFS.
+		var all []float64
+		visited := make(map[topology.NodeID]bool)
+		var dfs func(n topology.NodeID, rate pricing.NRate)
+		dfs = func(n topology.NodeID, rate pricing.NRate) {
+			if n == dst {
+				all = append(all, float64(rate))
+				return
+			}
+			visited[n] = true
+			topo.Neighbors(n, func(ei int, to topology.NodeID) {
+				if !visited[to] {
+					dfs(to, rate+book.NRate(ei))
+				}
+			})
+			visited[n] = false
+		}
+		dfs(src, 0)
+		if len(all) == 0 {
+			continue
+		}
+		sortFloats(all)
+
+		k := 4
+		got := KShortest(book, src, dst, k)
+		for i := 0; i < len(got) && i < len(all) && i < k; i++ {
+			if math.Abs(float64(got[i].Rate)-all[i]) > 1e-9 {
+				t.Fatalf("seed %d: k-shortest[%d] = %g, brute force %g", seed, i, float64(got[i].Rate), all[i])
+			}
+		}
+		if len(got) < k && len(all) >= k {
+			t.Fatalf("seed %d: found %d routes, %d exist", seed, len(got), len(all))
+		}
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/pricing"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+func lineTopo(t *testing.T, n int) *topology.Topology {
+	t.Helper()
+	topo := topology.Chain(topology.GenConfig{Storages: n, UsersPerStorage: 1, Capacity: units.GB})
+	return topo
+}
+
+func TestTableOnChain(t *testing.T) {
+	topo := lineTopo(t, 4)
+	book := pricing.Uniform(topo, 0, pricing.PerGB(100))
+	table := NewTable(book)
+	vw := topo.Warehouse()
+	last, _ := topo.Lookup("IS4")
+	if got, want := table.Rate(vw, last), pricing.PerGB(400); math.Abs(float64(got-want)) > 1e-18 {
+		t.Errorf("Rate = %v, want %v", got, want)
+	}
+	r, err := table.Route(vw, last)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if r.Hops() != 4 || r.Src() != vw || r.Dst() != last {
+		t.Errorf("Route = %v", r)
+	}
+	// Self route.
+	r, err = table.Route(vw, vw)
+	if err != nil || len(r) != 1 || r.Hops() != 0 {
+		t.Errorf("self route = %v, err %v", r, err)
+	}
+	if table.Rate(vw, vw) != 0 {
+		t.Error("self rate must be zero")
+	}
+}
+
+func TestRouteEdgesAreAdjacent(t *testing.T) {
+	topo := topology.Metro(topology.GenConfig{}, 5)
+	book := pricing.Uniform(topo, 0, pricing.PerGB(300))
+	table := NewTable(book)
+	for _, s := range topo.Nodes() {
+		for _, d := range topo.Nodes() {
+			r, err := table.Route(s.ID, d.ID)
+			if err != nil {
+				t.Fatalf("Route(%d,%d): %v", s.ID, d.ID, err)
+			}
+			for i := 1; i < len(r); i++ {
+				if _, ok := topo.EdgeBetween(r[i-1], r[i]); !ok {
+					t.Fatalf("route %v contains non-edge hop", r)
+				}
+			}
+			// The route's priced rate must equal the table's rate.
+			if got := book.RouteRate(r); math.Abs(float64(got-table.Rate(s.ID, d.ID))) > 1e-15 {
+				t.Fatalf("route rate %v != table rate %v", got, table.Rate(s.ID, d.ID))
+			}
+		}
+	}
+}
+
+// brute-force cheapest path by DFS enumeration for small graphs.
+func bruteCheapest(topo *topology.Topology, book *pricing.Book, src, dst topology.NodeID) float64 {
+	best := math.Inf(1)
+	visited := make([]bool, topo.NumNodes())
+	var dfs func(n topology.NodeID, cost float64)
+	dfs = func(n topology.NodeID, cost float64) {
+		if cost >= best {
+			return
+		}
+		if n == dst {
+			best = cost
+			return
+		}
+		visited[n] = true
+		topo.Neighbors(n, func(ei int, to topology.NodeID) {
+			if !visited[to] {
+				dfs(to, cost+float64(book.NRate(ei)))
+			}
+		})
+		visited[n] = false
+	}
+	dfs(src, 0)
+	return best
+}
+
+func TestDijkstraMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		topo := topology.Random(topology.GenConfig{Storages: 7, UsersPerStorage: 1, Capacity: units.GB}, 5, seed)
+		book := pricing.Uniform(topo, 0, 0)
+		rng := rand.New(rand.NewSource(seed + 100))
+		for i := 0; i < topo.NumEdges(); i++ {
+			book.SetNRate(i, pricing.NRate(rng.Float64()*1000))
+		}
+		table := NewTable(book)
+		for s := 0; s < topo.NumNodes(); s++ {
+			for d := 0; d < topo.NumNodes(); d++ {
+				want := bruteCheapest(topo, book, topology.NodeID(s), topology.NodeID(d))
+				got := float64(table.Rate(topology.NodeID(s), topology.NodeID(d)))
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("seed %d: rate(%d,%d) = %g, brute force %g", seed, s, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroRateEdges(t *testing.T) {
+	// All-zero rates must not loop or crash; any route works, rate is 0.
+	topo := topology.Ring(topology.GenConfig{Storages: 6, UsersPerStorage: 1, Capacity: units.GB})
+	book := pricing.Uniform(topo, 0, 0)
+	table := NewTable(book)
+	for _, d := range topo.Storages() {
+		r, err := table.Route(topo.Warehouse(), d)
+		if err != nil {
+			t.Fatalf("Route: %v", err)
+		}
+		if table.Rate(topo.Warehouse(), d) != 0 {
+			t.Error("zero-rate network must have zero rates")
+		}
+		if r.Hops() > topo.NumNodes() {
+			t.Error("route too long")
+		}
+	}
+}
+
+func TestEndToEndModeOverride(t *testing.T) {
+	topo := lineTopo(t, 3)
+	book := pricing.Uniform(topo, 0, pricing.PerGB(100))
+	vw := topo.Warehouse()
+	is3, _ := topo.Lookup("IS3")
+	table := NewTable(book)
+	perHop := table.Rate(vw, is3)
+	book.SetMode(pricing.EndToEnd)
+	// Without an override, end-to-end defaults to the cheapest per-hop sum.
+	if table.Rate(vw, is3) != perHop {
+		t.Error("end-to-end default must equal cheapest per-hop rate")
+	}
+	book.SetEndToEnd(vw, is3, pricing.PerGB(42))
+	if got := table.Rate(vw, is3); got != pricing.PerGB(42) {
+		t.Errorf("override not used: %v", got)
+	}
+}
+
+func TestRouteClone(t *testing.T) {
+	r := Route{0, 1, 2}
+	c := r.Clone()
+	c[0] = 9
+	if r[0] != 0 {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestDeterministicRoutes(t *testing.T) {
+	topo := topology.Metro(topology.GenConfig{}, 11)
+	book := pricing.Uniform(topo, 0, pricing.PerGB(300))
+	t1 := NewTable(book)
+	t2 := NewTable(book)
+	for s := 0; s < topo.NumNodes(); s++ {
+		for d := 0; d < topo.NumNodes(); d++ {
+			r1, _ := t1.Route(topology.NodeID(s), topology.NodeID(d))
+			r2, _ := t2.Route(topology.NodeID(s), topology.NodeID(d))
+			if len(r1) != len(r2) {
+				t.Fatalf("nondeterministic route %d->%d", s, d)
+			}
+			for i := range r1 {
+				if r1[i] != r2[i] {
+					t.Fatalf("nondeterministic route %d->%d", s, d)
+				}
+			}
+		}
+	}
+}
+
+// Property: the all-pairs table agrees with the single-shot avoid-nothing
+// Dijkstra on random priced graphs.
+func TestPropertyTableMatchesRouteAvoiding(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		topo := topology.Random(topology.GenConfig{Storages: 8, UsersPerStorage: 1, Capacity: units.GB}, 5, seed)
+		book := pricing.Uniform(topo, 0, 0)
+		rng := rand.New(rand.NewSource(seed + 500))
+		for i := 0; i < topo.NumEdges(); i++ {
+			book.SetNRate(i, pricing.NRate(rng.Float64()*100))
+		}
+		table := NewTable(book)
+		for s := 0; s < topo.NumNodes(); s++ {
+			for d := 0; d < topo.NumNodes(); d++ {
+				_, rate, err := RouteAvoiding(book, topology.NodeID(s), topology.NodeID(d), func(int) bool { return false })
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(float64(rate-table.Rate(topology.NodeID(s), topology.NodeID(d)))) > 1e-9 {
+					t.Fatalf("seed %d: rate mismatch %d->%d", seed, s, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package schedule
+
+import (
+	"github.com/vodsim/vsp/internal/simtime"
+)
+
+// SpaceIntegral returns the time–space product of the copy over the given
+// interval: ∫ f_c(t) dt in byte·seconds (paper Eq. 5). f_c is the piecewise
+// linear profile of SpaceAt, so the integral has a closed form.
+func (c Residency) SpaceIntegral(iv simtime.Interval, size float64, playback simtime.Duration) float64 {
+	if playback <= 0 {
+		return 0
+	}
+	window := iv.Intersect(c.Support(playback))
+	if window.Empty() {
+		return 0
+	}
+	g := c.Gamma(playback)
+	total := 0.0
+	// Plateau part: [Load, LastService] at height γ·size.
+	plateau := window.Intersect(simtime.NewInterval(c.Load, c.LastService))
+	total += g * size * plateau.Len().Seconds()
+	// Decay part: [LastService, LastService+P], height falls linearly from
+	// γ·size to 0. Integral of the trapezoid between a and b.
+	decay := window.Intersect(simtime.NewInterval(c.LastService, c.LastService.Add(playback)))
+	if !decay.Empty() {
+		hA := c.SpaceAt(decay.Start, size, playback)
+		hB := c.SpaceAt(decay.End, size, playback)
+		total += (hA + hB) / 2 * decay.Len().Seconds()
+	}
+	return total
+}
+
+// TotalSpaceIntegral returns the copy's full lifetime time–space product:
+// γ·size·(Δ + P/2), the quantity the storage cost model charges (Eq. 2–3).
+func (c Residency) TotalSpaceIntegral(size float64, playback simtime.Duration) float64 {
+	return c.SpaceIntegral(c.Support(playback), size, playback)
+}

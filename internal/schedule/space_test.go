@@ -1,0 +1,95 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/vodsim/vsp/internal/simtime"
+)
+
+func TestSpaceIntegralClosedForm(t *testing.T) {
+	size := 2.5e9
+	P := 90 * simtime.Minute
+	// Long residency: Δ = 3h -> total = size·(Δ + P/2).
+	c := Residency{Load: 0, LastService: simtime.Time(3 * simtime.Hour)}
+	want := size * ((3 * simtime.Hour).Seconds() + P.Seconds()/2)
+	if got := c.TotalSpaceIntegral(size, P); math.Abs(got-want) > 1 {
+		t.Errorf("long total = %g, want %g", got, want)
+	}
+	// Short residency: Δ = P/3 -> γ = 1/3, total = γ·size·(Δ + P/2).
+	s := Residency{Load: 0, LastService: simtime.Time(P / 3)}
+	wantShort := size / 3 * ((P / 3).Seconds() + P.Seconds()/2)
+	if got := s.TotalSpaceIntegral(size, P); math.Abs(got-wantShort) > 1 {
+		t.Errorf("short total = %g, want %g", got, wantShort)
+	}
+	// Zero-span residency occupies nothing.
+	z := Residency{Load: 5, LastService: 5}
+	if got := z.TotalSpaceIntegral(size, P); got != 0 {
+		t.Errorf("zero-span total = %g, want 0", got)
+	}
+}
+
+func TestSpaceIntegralWindows(t *testing.T) {
+	size := 1000.0
+	P := simtime.Duration(100)
+	c := Residency{Load: 0, LastService: 200} // long; support [0, 300]
+	full := c.TotalSpaceIntegral(size, P)
+	// Disjoint window.
+	if got := c.SpaceIntegral(simtime.NewInterval(400, 500), size, P); got != 0 {
+		t.Errorf("disjoint window integral = %g", got)
+	}
+	// Window before load.
+	if got := c.SpaceIntegral(simtime.NewInterval(-100, 0), size, P); got != 0 {
+		t.Errorf("pre-load window integral = %g", got)
+	}
+	// Plateau-only window: [50, 150) at full height.
+	if got := c.SpaceIntegral(simtime.NewInterval(50, 150), size, P); math.Abs(got-100*size) > 1e-9 {
+		t.Errorf("plateau window = %g, want %g", got, 100*size)
+	}
+	// Decay-only window: [200, 300) is a triangle of area size·P/2.
+	if got := c.SpaceIntegral(simtime.NewInterval(200, 300), size, P); math.Abs(got-size*50) > 1e-9 {
+		t.Errorf("decay window = %g, want %g", got, size*50)
+	}
+	// Split windows sum to the whole.
+	a := c.SpaceIntegral(simtime.NewInterval(0, 137), size, P)
+	b := c.SpaceIntegral(simtime.NewInterval(137, 300), size, P)
+	if math.Abs(a+b-full) > 1e-6 {
+		t.Errorf("split integrals %g + %g != %g", a, b, full)
+	}
+}
+
+// Property: the closed-form integral matches Riemann summation of SpaceAt.
+func TestPropertyIntegralMatchesRiemann(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		P := simtime.Duration(r.Intn(200) + 1)
+		load := simtime.Time(r.Intn(100))
+		span := simtime.Duration(r.Intn(300))
+		size := float64(r.Intn(1000) + 1)
+		c := Residency{Load: load, LastService: load.Add(span)}
+		a := simtime.Time(r.Intn(400))
+		b := a.Add(simtime.Duration(r.Intn(300)))
+		got := c.SpaceIntegral(simtime.NewInterval(a, b), size, P)
+		// Riemann sum with unit steps: all breakpoints are integers, so
+		// unit trapezoids are exact on every piece. The profile jumps at
+		// Load (space is reserved instantaneously), so intervals entirely
+		// before Load contribute zero rather than a trapezoid across the
+		// jump.
+		sum := 0.0
+		for x := a; x < b; x++ {
+			if x < load {
+				continue
+			}
+			h0 := c.SpaceAt(x, size, P)
+			h1 := c.SpaceAt(x+1, size, P)
+			sum += (h0 + h1) / 2
+		}
+		return math.Abs(got-sum) < 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

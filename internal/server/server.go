@@ -1,0 +1,284 @@
+// Package server exposes the scheduler as a JSON-over-HTTP service: the
+// form a Video-On-Reservation operator would actually deploy. A server is
+// bound to one priced infrastructure (topology + catalog + rates) and
+// schedules reservation batches on demand.
+//
+//	GET  /healthz            liveness
+//	GET  /v1/topology        the service network (topology.Spec JSON)
+//	GET  /v1/catalog         the title list
+//	POST /v1/schedule        {"requests": [...], "metric": "...", "policy": "..."}
+//	                          -> schedule + costs + cache statistics
+//	POST /v1/simulate        {"schedule": {...}} -> execution report
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/vodsim/vsp/internal/analysis"
+	"github.com/vodsim/vsp/internal/billing"
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/ivs"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/scheduler"
+	"github.com/vodsim/vsp/internal/sorp"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/vodsim"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Server serves scheduling requests for one fixed infrastructure. It is
+// safe for concurrent use: the model is read-only after construction.
+type Server struct {
+	model *cost.Model
+	mux   *http.ServeMux
+}
+
+// New builds a server around a cost model.
+func New(model *cost.Model) *Server {
+	s := &Server{model: model, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/topology", s.handleTopology)
+	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/bill", s.handleBill)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.model.Book().Topology().ToSpec())
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.model.Catalog())
+}
+
+// StatsResponse is the GET /v1/stats reply: the infrastructure's shape and
+// tariff summary.
+type StatsResponse struct {
+	Topology topology.Stats `json:"topology"`
+	Titles   int            `json:"titles"`
+	MeanSize units.Bytes    `json:"mean_title_bytes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Topology: s.model.Book().Topology().ComputeStats(),
+		Titles:   s.model.Catalog().Len(),
+		MeanSize: s.model.Catalog().MeanSize(),
+	})
+}
+
+// ScheduleRequest is the POST /v1/schedule body.
+type ScheduleRequest struct {
+	Requests workload.Set `json:"requests"`
+	Metric   string       `json:"metric,omitempty"` // default space-per-cost
+	Policy   string       `json:"policy,omitempty"` // default cache-on-route
+}
+
+// ScheduleResponse is the POST /v1/schedule reply.
+type ScheduleResponse struct {
+	Schedule   *schedule.Schedule `json:"schedule"`
+	Phase1Cost units.Money        `json:"phase1_cost"`
+	FinalCost  units.Money        `json:"final_cost"`
+	DirectCost units.Money        `json:"direct_cost"`
+	Overflows  int                `json:"overflows"`
+	Victims    int                `json:"victims"`
+	HitRatePct float64            `json:"hit_rate_pct"`
+	Copies     int                `json:"copies"`
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty request batch"))
+		return
+	}
+	metric, err := parseMetric(req.Metric)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Reject malformed reservations up front (unknown user/title/time):
+	// the scheduler validates its own output, so pre-validate inputs for a
+	// 4xx rather than a 5xx.
+	topo := s.model.Book().Topology()
+	for _, q := range req.Requests {
+		if int(q.User) < 0 || int(q.User) >= topo.NumUsers() {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown user %d", q.User))
+			return
+		}
+		if int(q.Video) < 0 || int(q.Video) >= s.model.Catalog().Len() {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown video %d", q.Video))
+			return
+		}
+		if q.Start < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("negative start time %v", q.Start))
+			return
+		}
+	}
+	out, err := scheduler.Run(s.model, req.Requests, scheduler.Config{Metric: metric, Policy: policy})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	direct, err := scheduler.RunDirect(s.model, req.Requests)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	rep := analysis.Summarize(s.model, out.Schedule)
+	writeJSON(w, http.StatusOK, ScheduleResponse{
+		Schedule:   out.Schedule,
+		Phase1Cost: out.Phase1Cost,
+		FinalCost:  out.FinalCost,
+		DirectCost: direct.FinalCost,
+		Overflows:  out.Overflows,
+		Victims:    len(out.Victims),
+		HitRatePct: 100 * rep.HitRate(),
+		Copies:     rep.Copies,
+	})
+}
+
+// SimulateRequest is the POST /v1/simulate body.
+type SimulateRequest struct {
+	Schedule *schedule.Schedule `json:"schedule"`
+}
+
+// SimulateResponse is the POST /v1/simulate reply.
+type SimulateResponse struct {
+	OK          bool        `json:"ok"`
+	Streams     int         `json:"streams"`
+	CacheLoads  int         `json:"cache_loads"`
+	Violations  []string    `json:"violations,omitempty"`
+	TotalCost   units.Money `json:"total_cost"`
+	NetworkCost units.Money `json:"network_cost"`
+	StorageCost units.Money `json:"storage_cost"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if req.Schedule == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing schedule"))
+		return
+	}
+	for vid := range req.Schedule.Files {
+		if int(vid) < 0 || int(vid) >= s.model.Catalog().Len() {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("schedule references unknown video %d", vid))
+			return
+		}
+	}
+	rep := vodsim.Execute(s.model.Book(), s.model.Catalog(), req.Schedule)
+	resp := SimulateResponse{
+		OK:          rep.OK(),
+		Streams:     rep.Streams,
+		CacheLoads:  rep.CacheLoads,
+		TotalCost:   rep.TotalCost(),
+		NetworkCost: rep.NetworkCost,
+		StorageCost: rep.StorageCost,
+	}
+	for _, v := range rep.Violations {
+		resp.Violations = append(resp.Violations, v.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BillRequest is the POST /v1/bill body.
+type BillRequest struct {
+	Schedule *schedule.Schedule `json:"schedule"`
+}
+
+// BillResponse is the POST /v1/bill reply.
+type BillResponse struct {
+	Lines   []billing.Line `json:"lines"`
+	Network units.Money    `json:"network"`
+	Storage units.Money    `json:"storage"`
+	Total   units.Money    `json:"total"`
+}
+
+func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
+	var req BillRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if req.Schedule == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing schedule"))
+		return
+	}
+	for vid := range req.Schedule.Files {
+		if int(vid) < 0 || int(vid) >= s.model.Catalog().Len() {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("schedule references unknown video %d", vid))
+			return
+		}
+	}
+	st, err := billing.Attribute(s.model, req.Schedule)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BillResponse{
+		Lines:   st.Lines,
+		Network: st.Network,
+		Storage: st.Storage,
+		Total:   st.Total(),
+	})
+}
+
+func parseMetric(s string) (sorp.HeatMetric, error) {
+	if s == "" {
+		return sorp.SpacePerCost, nil
+	}
+	for _, m := range []sorp.HeatMetric{sorp.Period, sorp.PeriodPerCost, sorp.Space, sorp.SpacePerCost} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown metric %q", s)
+}
+
+func parsePolicy(s string) (ivs.Policy, error) {
+	if s == "" {
+		return ivs.CacheOnRoute, nil
+	}
+	for _, p := range []ivs.Policy{ivs.CacheOnRoute, ivs.CacheAtDestination, ivs.NoCaching} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,113 @@
+package simtime
+
+import "fmt"
+
+// Interval is a half-open span [Start, End) of simulated time.
+// An interval with End <= Start is empty.
+type Interval struct {
+	Start Time
+	End   Time
+}
+
+// NewInterval returns the interval [start, end).
+func NewInterval(start, end Time) Interval { return Interval{Start: start, End: end} }
+
+// Empty reports whether the interval contains no time.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Len returns the length of the interval (zero if empty).
+func (iv Interval) Len() Duration {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.End.Sub(iv.Start)
+}
+
+// Contains reports whether t lies inside [Start, End).
+func (iv Interval) Contains(t Time) bool { return t >= iv.Start && t < iv.End }
+
+// Overlaps reports whether the two intervals share any time.
+func (iv Interval) Overlaps(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return false
+	}
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Intersect returns the overlap of the two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	return Interval{Start: Max(iv.Start, other.Start), End: Min(iv.End, other.End)}
+}
+
+// Union returns the smallest interval covering both. It is only meaningful
+// when the intervals overlap or touch; ok is false otherwise.
+func (iv Interval) Union(other Interval) (Interval, bool) {
+	if iv.Empty() {
+		return other, true
+	}
+	if other.Empty() {
+		return iv, true
+	}
+	if iv.Start > other.End || other.Start > iv.End {
+		return Interval{}, false
+	}
+	return Interval{Start: Min(iv.Start, other.Start), End: Max(iv.End, other.End)}, true
+}
+
+// Shift returns the interval translated by d.
+func (iv Interval) Shift(d Duration) Interval {
+	return Interval{Start: iv.Start.Add(d), End: iv.End.Add(d)}
+}
+
+// String formats the interval as "[start, end)".
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s)", iv.Start, iv.End)
+}
+
+// MergeIntervals coalesces a set of intervals into a minimal sorted set of
+// disjoint non-touching intervals. Empty inputs are dropped. The input slice
+// is not modified.
+func MergeIntervals(ivs []Interval) []Interval {
+	nonEmpty := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			nonEmpty = append(nonEmpty, iv)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return nil
+	}
+	sortIntervals(nonEmpty)
+	out := []Interval{nonEmpty[0]}
+	for _, iv := range nonEmpty[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// TotalLen returns the summed length of a set of (possibly overlapping)
+// intervals, counting overlapped time once.
+func TotalLen(ivs []Interval) Duration {
+	var total Duration
+	for _, iv := range MergeIntervals(ivs) {
+		total += iv.Len()
+	}
+	return total
+}
+
+func sortIntervals(ivs []Interval) {
+	// Insertion sort: interval sets here are small (overflow windows per IS).
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && (ivs[j].Start < ivs[j-1].Start ||
+			(ivs[j].Start == ivs[j-1].Start && ivs[j].End < ivs[j-1].End)); j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+}

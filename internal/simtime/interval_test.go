@@ -1,0 +1,149 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := NewInterval(10, 20)
+	if iv.Empty() {
+		t.Fatal("non-empty interval reported empty")
+	}
+	if iv.Len() != 10 {
+		t.Errorf("Len = %d, want 10", iv.Len())
+	}
+	if !iv.Contains(10) || iv.Contains(20) || !iv.Contains(19) {
+		t.Error("Contains must be half-open [start, end)")
+	}
+	if NewInterval(5, 5).Len() != 0 || !NewInterval(5, 5).Empty() {
+		t.Error("degenerate interval must be empty with zero length")
+	}
+	if NewInterval(7, 3).Len() != 0 {
+		t.Error("inverted interval must have zero length")
+	}
+}
+
+func TestIntervalOverlapIntersect(t *testing.T) {
+	a := NewInterval(0, 10)
+	b := NewInterval(5, 15)
+	c := NewInterval(10, 20)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b must overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("touching half-open intervals must not overlap")
+	}
+	got := a.Intersect(b)
+	if got.Start != 5 || got.End != 10 {
+		t.Errorf("Intersect = %v, want [5,10)", got)
+	}
+	if !a.Intersect(c).Empty() {
+		t.Error("intersection of touching intervals must be empty")
+	}
+	var empty Interval
+	if empty.Overlaps(a) || a.Overlaps(empty) {
+		t.Error("empty interval overlaps nothing")
+	}
+}
+
+func TestIntervalUnion(t *testing.T) {
+	a := NewInterval(0, 10)
+	b := NewInterval(10, 20)
+	u, ok := a.Union(b)
+	if !ok || u.Start != 0 || u.End != 20 {
+		t.Errorf("Union touching: got %v ok=%v", u, ok)
+	}
+	if _, ok := a.Union(NewInterval(11, 12)); ok {
+		t.Error("Union of disjoint intervals must fail")
+	}
+	u, ok = a.Union(Interval{})
+	if !ok || u != a {
+		t.Error("Union with empty must return the other interval")
+	}
+}
+
+func TestIntervalShift(t *testing.T) {
+	iv := NewInterval(10, 20).Shift(5)
+	if iv.Start != 15 || iv.End != 25 {
+		t.Errorf("Shift = %v", iv)
+	}
+}
+
+func TestMergeIntervals(t *testing.T) {
+	in := []Interval{
+		NewInterval(20, 30),
+		NewInterval(0, 10),
+		NewInterval(5, 15),
+		NewInterval(40, 40), // empty, dropped
+		NewInterval(30, 35), // touches [20,30)
+	}
+	out := MergeIntervals(in)
+	want := []Interval{NewInterval(0, 15), NewInterval(20, 35)}
+	if len(out) != len(want) {
+		t.Fatalf("MergeIntervals = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("MergeIntervals[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if MergeIntervals(nil) != nil {
+		t.Error("MergeIntervals(nil) must be nil")
+	}
+}
+
+func TestTotalLen(t *testing.T) {
+	in := []Interval{NewInterval(0, 10), NewInterval(5, 15), NewInterval(20, 25)}
+	if got := TotalLen(in); got != 20 {
+		t.Errorf("TotalLen = %d, want 20", got)
+	}
+}
+
+// Property: merged intervals are sorted, disjoint, and cover exactly the
+// union of the inputs (checked pointwise on integer samples).
+func TestPropertyMergeCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(8)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			s := Time(r.Intn(50))
+			ivs[i] = NewInterval(s, s.Add(Duration(r.Intn(20))))
+		}
+		merged := MergeIntervals(ivs)
+		// Sorted and strictly separated.
+		for i := 1; i < len(merged); i++ {
+			if merged[i].Start <= merged[i-1].End {
+				return false
+			}
+		}
+		// Pointwise equivalence on [0, 100).
+		for p := Time(0); p < 100; p++ {
+			inOrig := false
+			for _, iv := range ivs {
+				if iv.Contains(p) {
+					inOrig = true
+					break
+				}
+			}
+			inMerged := false
+			for _, iv := range merged {
+				if iv.Contains(p) {
+					inMerged = true
+					break
+				}
+			}
+			if inOrig != inMerged {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package simtime provides the simulation clock used throughout the
+// scheduler: an integer number of seconds since the start of the scheduling
+// cycle, plus interval arithmetic over such times.
+//
+// The paper's Video-On-Reservation model schedules a batch of requests whose
+// start times are known in advance; all times are therefore relative to the
+// beginning of the batch window ("cycle"). One-second resolution is ample:
+// playback lengths are tens of minutes and charging rates are per second.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant in the scheduling cycle, in whole seconds from the
+// cycle origin. Negative values are permitted by the arithmetic but are
+// rejected by schedule validation.
+type Time int64
+
+// Duration is a span of simulated time in whole seconds.
+type Duration int64
+
+// Common durations.
+const (
+	Second Duration = 1
+	Minute Duration = 60 * Second
+	Hour   Duration = 60 * Minute
+	Day    Duration = 24 * Hour
+)
+
+// Add returns t shifted forward by d (backward if d is negative).
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the time as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// String formats the time as [d.]hh:mm:ss relative to the cycle origin.
+func (t Time) String() string {
+	neg := t < 0
+	v := int64(t)
+	if neg {
+		v = -v
+	}
+	d := v / int64(Day)
+	v %= int64(Day)
+	h := v / int64(Hour)
+	v %= int64(Hour)
+	m := v / int64(Minute)
+	s := v % int64(Minute)
+	sign := ""
+	if neg {
+		sign = "-"
+	}
+	if d > 0 {
+		return fmt.Sprintf("%s%dd%02d:%02d:%02d", sign, d, h, m, s)
+	}
+	return fmt.Sprintf("%s%02d:%02d:%02d", sign, h, m, s)
+}
+
+// Seconds returns the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Std converts a simulated duration to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) * time.Second }
+
+// String formats the duration compactly, e.g. "1h30m" or "45s".
+func (d Duration) String() string {
+	neg := d < 0
+	v := int64(d)
+	if neg {
+		v = -v
+	}
+	h := v / int64(Hour)
+	m := (v % int64(Hour)) / int64(Minute)
+	s := v % int64(Minute)
+	sign := ""
+	if neg {
+		sign = "-"
+	}
+	switch {
+	case h > 0 && s > 0:
+		return fmt.Sprintf("%s%dh%dm%ds", sign, h, m, s)
+	case h > 0 && m > 0:
+		return fmt.Sprintf("%s%dh%dm", sign, h, m)
+	case h > 0:
+		return fmt.Sprintf("%s%dh", sign, h)
+	case m > 0 && s > 0:
+		return fmt.Sprintf("%s%dm%ds", sign, m, s)
+	case m > 0:
+		return fmt.Sprintf("%s%dm", sign, m)
+	default:
+		return fmt.Sprintf("%s%ds", sign, s)
+	}
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100)
+	if got := t0.Add(50); got != Time(150) {
+		t.Errorf("Add: got %d, want 150", got)
+	}
+	if got := t0.Add(-200); got != Time(-100) {
+		t.Errorf("Add negative: got %d, want -100", got)
+	}
+	if got := Time(150).Sub(t0); got != Duration(50) {
+		t.Errorf("Sub: got %d, want 50", got)
+	}
+	if !t0.Before(Time(101)) || t0.Before(t0) {
+		t.Error("Before misbehaves")
+	}
+	if !Time(101).After(t0) || t0.After(t0) {
+		t.Error("After misbehaves")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "00:00:00"},
+		{Time(Hour + 30*Minute), "01:30:00"},
+		{Time(Day + 2*Hour + 3*Minute + 4*Second), "1d02:03:04"},
+		{Time(-90), "-00:01:30"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		in   Duration
+		want string
+	}{
+		{0, "0s"},
+		{45, "45s"},
+		{Minute, "1m"},
+		{90, "1m30s"},
+		{Hour, "1h"},
+		{Hour + 30*Minute, "1h30m"},
+		{Hour + 30*Minute + 5*Second, "1h30m5s"},
+		{-90, "-1m30s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDurationStd(t *testing.T) {
+	if got := (2 * Minute).Std(); got != 2*time.Minute {
+		t.Errorf("Std: got %v, want 2m", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min wrong")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max wrong")
+	}
+}
+
+func TestSecondsConversions(t *testing.T) {
+	if Time(90).Seconds() != 90.0 {
+		t.Error("Time.Seconds wrong")
+	}
+	if Duration(90).Seconds() != 90.0 {
+		t.Error("Duration.Seconds wrong")
+	}
+}
+
+func TestPropertyAddSubInverse(t *testing.T) {
+	f := func(a int32, d int32) bool {
+		t0 := Time(a)
+		return t0.Add(Duration(d)).Sub(t0) == Duration(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

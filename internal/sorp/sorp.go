@@ -1,0 +1,283 @@
+// Package sorp implements the Storage Overflow Resolution phase of the
+// paper's heuristic (§4): after the individually-scheduled files are
+// integrated, some intermediate storages may be over-committed during some
+// intervals. SORP repeatedly selects the victim file whose rescheduling
+// yields the most improvement per unit of overhead — measured by one of
+// four heat metrics (Eqs. 8–11) — and recomputes its schedule with the
+// Rejective Greedy (§4.4): the victim may not occupy the overflowing
+// (interval, storage) pair and must respect the remaining capacity of every
+// other storage.
+package sorp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/ivs"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/occupancy"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// HeatMetric selects the victim-ranking criterion (paper §4.3).
+type HeatMetric int
+
+const (
+	// Period is Method 1 (Eq. 8): the length X of the improved period.
+	Period HeatMetric = iota + 1
+	// PeriodPerCost is Method 2 (Eq. 9): X divided by the overhead cost.
+	PeriodPerCost
+	// Space is Method 3 (Eq. 10): the amortized time–space product ΔS
+	// removed from the overflow window (Eq. 5).
+	Space
+	// SpacePerCost is Method 4 (Eq. 11): ΔS divided by the overhead cost.
+	// The paper finds it the best performer on average.
+	SpacePerCost
+)
+
+func (h HeatMetric) String() string {
+	switch h {
+	case Period:
+		return "period"
+	case PeriodPerCost:
+		return "period-per-cost"
+	case Space:
+		return "space"
+	case SpacePerCost:
+		return "space-per-cost"
+	default:
+		return fmt.Sprintf("HeatMetric(%d)", int(h))
+	}
+}
+
+// Options configures a Resolve run.
+type Options struct {
+	// Metric ranks victims; defaults to SpacePerCost (Method 4).
+	Metric HeatMetric
+	// Policy is the caching policy handed to the rejective greedy.
+	Policy ivs.Policy
+	// MaxIterations bounds the resolution loop as a safety valve; 0 means
+	// a generous default proportional to the schedule size.
+	MaxIterations int
+	// Seeds are the pre-placed standing copies per video (strategic
+	// replication). Rescheduling a victim re-seeds them: they are placed
+	// infrastructure the resolver can neither move nor strip, so they are
+	// never selected as victims.
+	Seeds map[media.VideoID][]schedule.Residency
+}
+
+// Victim records one rescheduling decision, for diagnostics and the
+// heat-metric study of Experiment 4.
+type Victim struct {
+	Video    media.VideoID
+	Node     topology.NodeID
+	Window   simtime.Interval
+	Heat     float64
+	Overhead units.Money
+}
+
+// Result summarizes a resolution run.
+type Result struct {
+	Schedule         *schedule.Schedule
+	Victims          []Victim
+	InitialOverflows int
+	CostBefore       units.Money
+	CostAfter        units.Money
+}
+
+// Delta returns the total cost increase caused by overflow resolution,
+// the paper's Ψ(S_SORP) − Ψ(S).
+func (r *Result) Delta() units.Money { return r.CostAfter - r.CostBefore }
+
+// Resolve runs the SORP loop on the integrated schedule s. The request
+// partition must be the one the schedule was built from (rescheduling a
+// victim re-serves its whole request list R_i). The input schedule is not
+// modified; the resolved schedule is returned in the Result.
+func Resolve(m *cost.Model, s *schedule.Schedule, reqs map[media.VideoID][]workload.Request, opts Options) (*Result, error) {
+	if opts.Metric == 0 {
+		opts.Metric = SpacePerCost
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 10 * (s.NumResidencies() + 1)
+	}
+	topo := m.Book().Topology()
+	for _, vid := range s.VideoIDs() {
+		if got, want := len(reqs[vid]), len(s.Files[vid].Deliveries); got != want {
+			return nil, fmt.Errorf("sorp: video %d has %d requests but %d scheduled deliveries", vid, got, want)
+		}
+	}
+	work := s.Clone()
+	ledger := occupancy.FromSchedule(topo, m.Catalog(), work)
+
+	res := &Result{
+		Schedule:         work,
+		InitialOverflows: len(ledger.AllOverflows()),
+		CostBefore:       m.ScheduleCost(s),
+	}
+
+	for iter := 0; ; iter++ {
+		overflows := ledger.AllOverflows()
+		if len(overflows) == 0 {
+			break
+		}
+		if iter >= opts.MaxIterations {
+			return nil, fmt.Errorf("sorp: no resolution after %d iterations (%d overflows remain)",
+				iter, len(overflows))
+		}
+		best, found, err := selectVictim(m, work, ledger, overflows, reqs, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, fmt.Errorf("sorp: %d overflows but no reschedulable victim", len(overflows))
+		}
+		// Commit the winning candidate: its ledger already reflects the
+		// rescheduled file.
+		work.Put(best.schedule)
+		ledger = best.ledger
+		res.Victims = append(res.Victims, best.record)
+	}
+	res.CostAfter = m.ScheduleCost(work)
+	return res, nil
+}
+
+type candidate struct {
+	schedule *schedule.FileSchedule
+	ledger   *occupancy.Ledger
+	record   Victim
+	heat     float64
+	overhead units.Money
+}
+
+// selectVictim evaluates rescheduling every file involved in every current
+// overflow and returns the candidate with the largest heat (paper Table 3,
+// lines 8–18). Heat ties break toward lower overhead, then lower video ID,
+// for determinism.
+func selectVictim(m *cost.Model, work *schedule.Schedule, ledger *occupancy.Ledger,
+	overflows []occupancy.Overflow, reqs map[media.VideoID][]workload.Request, opts Options) (candidate, bool, error) {
+
+	var best candidate
+	found := false
+	for _, of := range overflows {
+		refs := ledger.OverflowSet(of.Node, of.Interval)
+		// Rescheduling operates on whole files; evaluate each involved
+		// residency c_i for its heat but reschedule per file, so dedupe
+		// the expensive reschedule by video while keeping per-residency
+		// heat evaluation (the paper's loop is per c_i; for a given
+		// (video, overflow) the reschedule result is identical and only
+		// the improvement term differs).
+		cache := make(map[media.VideoID]reschedResult)
+		for _, ref := range refs {
+			fs := work.File(ref.Video)
+			if fs == nil || ref.Index >= len(fs.Residencies) {
+				return candidate{}, false, fmt.Errorf("sorp: dangling overflow ref %+v", ref)
+			}
+			ci := fs.Residencies[ref.Index]
+			if ci.FedBy == schedule.PrePlacedFeed {
+				continue // standing copies cannot be victimized
+			}
+			rs, ok := cache[ref.Video]
+			if !ok {
+				rs = rescheduleFile(m, work, ledger, ref.Video, of, reqs[ref.Video], opts)
+				cache[ref.Video] = rs
+			}
+			if !rs.ok {
+				continue
+			}
+			heat := computeHeat(m, ci, of, rs.overhead, opts.Metric)
+			cand := candidate{
+				schedule: rs.fs,
+				ledger:   rs.ledger,
+				heat:     heat,
+				overhead: rs.overhead,
+				record: Victim{
+					Video:    ref.Video,
+					Node:     of.Node,
+					Window:   of.Interval,
+					Heat:     heat,
+					Overhead: rs.overhead,
+				},
+			}
+			if !found || better(cand, best) {
+				best = cand
+				found = true
+			}
+		}
+	}
+	return best, found, nil
+}
+
+func better(a, b candidate) bool {
+	if a.heat != b.heat {
+		return a.heat > b.heat
+	}
+	if a.overhead != b.overhead {
+		return a.overhead < b.overhead
+	}
+	return a.record.Video < b.record.Video
+}
+
+type reschedResult struct {
+	fs       *schedule.FileSchedule
+	ledger   *occupancy.Ledger
+	overhead units.Money
+	ok       bool
+}
+
+func rescheduleFile(m *cost.Model, work *schedule.Schedule, ledger *occupancy.Ledger,
+	vid media.VideoID, of occupancy.Overflow, rs []workload.Request, opts Options) (out reschedResult) {
+	tmp := ledger.Clone()
+	tmp.RemoveVideo(vid)
+	fs, err := ivs.ScheduleFile(m, vid, rs, ivs.Options{
+		Policy: opts.Policy,
+		Ledger: tmp,
+		Banned: []occupancy.Banned{{Node: of.Node, Interval: of.Interval}},
+		Seeds:  opts.Seeds[vid],
+	})
+	if err != nil {
+		return out // unreschedulable candidate; skip (ok=false)
+	}
+	out.fs = fs
+	out.ledger = tmp
+	out.overhead = m.FileCost(fs) - m.FileCost(work.File(vid))
+	out.ok = true
+	return out
+}
+
+// computeHeat evaluates the selected metric for rescheduling the residency
+// c_i with respect to the overflow (paper Eqs. 8–11). For the per-cost
+// metrics, a non-positive overhead means rescheduling improves the overflow
+// AND saves money; such candidates are infinitely hot.
+func computeHeat(m *cost.Model, ci schedule.Residency, of occupancy.Overflow,
+	overhead units.Money, metric HeatMetric) float64 {
+
+	v := m.Catalog().Video(ci.Video)
+	// Improved window: [max(ts_of, ts_ci), min(tf_of, tf_ci + P)] (Eq. 8).
+	lo := simtime.Max(of.Interval.Start, ci.Load)
+	hi := simtime.Min(of.Interval.End, ci.LastService.Add(v.Playback))
+	x := hi.Sub(lo).Seconds()
+	if x < 0 {
+		x = 0
+	}
+	var improvement float64
+	switch metric {
+	case Period, PeriodPerCost:
+		improvement = x
+	default:
+		improvement = ci.SpaceIntegral(simtime.NewInterval(lo, hi), v.Size.Float(), v.Playback)
+	}
+	switch metric {
+	case Period, Space:
+		return improvement
+	default:
+		if float64(overhead) <= 0 {
+			return math.Inf(1)
+		}
+		return improvement / float64(overhead)
+	}
+}

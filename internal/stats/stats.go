@@ -1,0 +1,109 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// experiment harness uses to aggregate sweep results into the series and
+// tables the paper reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one (x, y) sample of a sweep series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named, ordered collection of points (one curve of a figure).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Ys returns the y values in order.
+func (s *Series) Ys() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Y
+	}
+	return out
+}
+
+// SortByX orders the samples by x.
+func (s *Series) SortByX() {
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// Monotone reports whether the y values are non-decreasing (dir > 0) or
+// non-increasing (dir < 0) within a relative tolerance tol.
+func (s *Series) Monotone(dir int, tol float64) bool {
+	for i := 1; i < len(s.Points); i++ {
+		prev, cur := s.Points[i-1].Y, s.Points[i].Y
+		slack := tol * math.Max(math.Abs(prev), math.Abs(cur))
+		if dir > 0 && cur < prev-slack {
+			return false
+		}
+		if dir < 0 && cur > prev+slack {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	Sum  float64
+	Std  float64
+}
+
+// Summarize computes the summary of xs. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g std=%.4g", s.N, s.Mean, s.Min, s.Max, s.Std)
+}
+
+// Percent returns 100·a/b, or 0 when b is 0.
+func Percent(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * a / b
+}

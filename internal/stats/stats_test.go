@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Name = "x"
+	s.Add(1, 10)
+	s.Add(3, 30)
+	s.Add(2, 20)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.SortByX()
+	if s.Points[0].X != 1 || s.Points[1].X != 2 || s.Points[2].X != 3 {
+		t.Errorf("SortByX: %v", s.Points)
+	}
+	ys := s.Ys()
+	if len(ys) != 3 || ys[0] != 10 || ys[2] != 30 {
+		t.Errorf("Ys = %v", ys)
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	up := Series{Points: []Point{{0, 1}, {1, 2}, {2, 3}}}
+	if !up.Monotone(+1, 0) {
+		t.Error("increasing series not detected")
+	}
+	if up.Monotone(-1, 0) {
+		t.Error("increasing series passed as decreasing")
+	}
+	down := Series{Points: []Point{{0, 3}, {1, 2}, {2, 1}}}
+	if !down.Monotone(-1, 0) {
+		t.Error("decreasing series not detected")
+	}
+	// Tolerance forgives a small dip.
+	noisy := Series{Points: []Point{{0, 100}, {1, 99.5}, {2, 110}}}
+	if noisy.Monotone(+1, 0) {
+		t.Error("dip accepted at zero tolerance")
+	}
+	if !noisy.Monotone(+1, 0.01) {
+		t.Error("1% tolerance should forgive a 0.5% dip")
+	}
+	var empty Series
+	if !empty.Monotone(+1, 0) {
+		t.Error("empty series must be trivially monotone")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 || s.Sum != 40 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample std of this classic dataset is ~2.138.
+	if math.Abs(s.Std-2.13809) > 1e-4 {
+		t.Errorf("std = %g", s.Std)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 || empty.Std != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+	one := Summarize([]float64{42})
+	if one.Mean != 42 || one.Std != 0 {
+		t.Errorf("single summary = %+v", one)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(1, 4) != 25 {
+		t.Error("Percent wrong")
+	}
+	if Percent(1, 0) != 0 {
+		t.Error("Percent by zero must be 0")
+	}
+}
+
+func TestPropertySummarizeBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		s := Summarize(clean)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-9*math.Abs(s.Mean) &&
+			s.Mean <= s.Max+1e-9*math.Abs(s.Max) && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package testutil provides shared fixtures for the test suites of the
+// scheduling packages, most importantly the paper's Fig. 2 worked example,
+// whose published dollar figures pin down the whole cost model.
+package testutil
+
+import (
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/pricing"
+	"github.com/vodsim/vsp/internal/routing"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Fig2 bundles the worked example of paper §3.2: VW—IS1—IS2, one user at
+// IS1 and two at IS2, all requesting the same title at 1:00, 2:30 and
+// 4:00 pm (times measured from 1:00 pm).
+type Fig2 struct {
+	Topo     *topology.Topology
+	Model    *cost.Model
+	Requests workload.Set
+	VW       topology.NodeID
+	IS1      topology.NodeID
+	IS2      topology.NodeID
+}
+
+// CentsPerMbit converts the paper's network rate unit — cents per
+// (Mbit/s · s), i.e. cents per megabit — to the internal $/byte rate.
+func CentsPerMbit(c float64) pricing.NRate { return pricing.NRate(c / 100 * 8 / 1e6) }
+
+// PerGBHour converts $ per gigabyte-hour to the internal $/(byte·s) rate.
+func PerGBHour(d float64) pricing.SRate { return pricing.SRate(d / (1e9 * 3600)) }
+
+// NewFig2 builds the example with the rates that reproduce the paper's
+// dollar figures: nrate(VW,IS1) = 0.2 ¢/Mbit, nrate(IS1,IS2) = 0.1 ¢/Mbit,
+// srate = $1/GB·h. Capacity is generous so phase 1 is unconstrained.
+func NewFig2() (*Fig2, error) {
+	b := topology.NewBuilder()
+	vw := b.Warehouse("VW")
+	is1 := b.Storage("IS1", 10*units.GB)
+	is2 := b.Storage("IS2", 10*units.GB)
+	b.Connect(vw, is1)
+	b.Connect(is1, is2)
+	b.AttachUsers(is1, 1)
+	b.AttachUsers(is2, 2)
+	topo, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	cat, err := media.Uniform(1, units.GBf(2.5), 90*simtime.Minute, units.Mbps(6))
+	if err != nil {
+		return nil, err
+	}
+	book := pricing.Uniform(topo, 0, 0)
+	e01, _ := topo.EdgeBetween(vw, is1)
+	e12, _ := topo.EdgeBetween(is1, is2)
+	book.SetNRate(e01, CentsPerMbit(0.2))
+	book.SetNRate(e12, CentsPerMbit(0.1))
+	if err := book.SetSRate(is1, PerGBHour(1)); err != nil {
+		return nil, err
+	}
+	if err := book.SetSRate(is2, PerGBHour(1)); err != nil {
+		return nil, err
+	}
+	table := routing.NewTable(book)
+	model := cost.NewModel(book, table, cat)
+
+	u1 := topo.UsersAt(is1)[0]
+	u23 := topo.UsersAt(is2)
+	reqs := workload.Set{
+		{User: u1, Video: 0, Start: 0},
+		{User: u23[0], Video: 0, Start: simtime.Time(90 * simtime.Minute)},
+		{User: u23[1], Video: 0, Start: simtime.Time(180 * simtime.Minute)},
+	}
+	return &Fig2{Topo: topo, Model: model, Requests: reqs, VW: vw, IS1: is1, IS2: is2}, nil
+}
+
+// PaperRig bundles a full paper-scale experimental setup.
+type PaperRig struct {
+	Topo    *topology.Topology
+	Catalog *media.Catalog
+	Book    *pricing.Book
+	Table   *routing.Table
+	Model   *cost.Model
+}
+
+// NewPaperRig builds a (scaled-down if titles/storages are small) instance
+// of the paper's §5.1 environment with uniform rates.
+func NewPaperRig(storages, usersPer, titles int, capacity units.Bytes, srate pricing.SRate, nrate pricing.NRate, seed int64) (*PaperRig, error) {
+	topo := topology.Metro(topology.GenConfig{
+		Storages: storages, UsersPerStorage: usersPer, Capacity: capacity,
+	}, seed)
+	cat, err := media.Generate(media.GenConfig{Titles: titles, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	book := pricing.Uniform(topo, srate, nrate)
+	table := routing.NewTable(book)
+	return &PaperRig{
+		Topo:    topo,
+		Catalog: cat,
+		Book:    book,
+		Table:   table,
+		Model:   cost.NewModel(book, table, cat),
+	}, nil
+}

@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/vodsim/vsp/internal/units"
+)
+
+// Spec is the serializable description of a topology, suitable for JSON
+// configuration files consumed by the command-line tools.
+type Spec struct {
+	Warehouse string        `json:"warehouse"`
+	Storages  []StorageSpec `json:"storages"`
+	Links     [][2]string   `json:"links"`
+}
+
+// StorageSpec describes one intermediate storage in a Spec.
+type StorageSpec struct {
+	Name     string      `json:"name"`
+	Capacity units.Bytes `json:"capacity_bytes"`
+	Users    int         `json:"users"`
+}
+
+// ToSpec converts a topology to its serializable form.
+func (t *Topology) ToSpec() Spec {
+	s := Spec{Warehouse: t.Node(t.warehouse).Name}
+	for _, n := range t.nodes {
+		if n.Kind != KindStorage {
+			continue
+		}
+		s.Storages = append(s.Storages, StorageSpec{
+			Name:     n.Name,
+			Capacity: n.Capacity,
+			Users:    len(t.UsersAt(n.ID)),
+		})
+	}
+	for _, e := range t.edges {
+		s.Links = append(s.Links, [2]string{t.Node(e.A).Name, t.Node(e.B).Name})
+	}
+	return s
+}
+
+// FromSpec builds a topology from its serializable form.
+func FromSpec(s Spec) (*Topology, error) {
+	b := NewBuilder()
+	if s.Warehouse == "" {
+		s.Warehouse = "VW"
+	}
+	b.Warehouse(s.Warehouse)
+	for _, st := range s.Storages {
+		id := b.Storage(st.Name, st.Capacity)
+		if st.Users > 0 {
+			b.AttachUsers(id, st.Users)
+		}
+	}
+	for _, l := range s.Links {
+		a, ok := b.names[l[0]]
+		if !ok {
+			return nil, fmt.Errorf("topology spec: link references unknown node %q", l[0])
+		}
+		c, ok := b.names[l[1]]
+		if !ok {
+			return nil, fmt.Errorf("topology spec: link references unknown node %q", l[1])
+		}
+		b.Connect(a, c)
+	}
+	return b.Build()
+}
+
+// MarshalJSON encodes the topology as its Spec.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.ToSpec())
+}
+
+// Decode reads a JSON Spec and builds the topology.
+func Decode(r io.Reader) (*Topology, error) {
+	var s Spec
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	return FromSpec(s)
+}
+
+// Encode writes the topology as indented JSON.
+func (t *Topology) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.ToSpec())
+}
+
+// DOT renders the topology in Graphviz DOT format for visual inspection.
+// Warehouse is drawn as a box; storages are ellipses annotated with their
+// capacity and user count.
+func (t *Topology) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("graph topology {\n")
+	names := make([]string, len(t.nodes))
+	for _, n := range t.nodes {
+		names[n.ID] = n.Name
+	}
+	ordered := append([]Node(nil), t.nodes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, n := range ordered {
+		switch n.Kind {
+		case KindWarehouse:
+			fmt.Fprintf(&sb, "  %q [shape=box,label=%q];\n", n.Name, n.Name)
+		default:
+			label := fmt.Sprintf("%s\\n%s, %d users", n.Name, n.Capacity, len(t.UsersAt(n.ID)))
+			fmt.Fprintf(&sb, "  %q [label=%q];\n", n.Name, label)
+		}
+	}
+	for _, e := range t.edges {
+		fmt.Fprintf(&sb, "  %q -- %q;\n", names[e.A], names[e.B])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,111 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/units"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	orig := Metro(GenConfig{Storages: 9, UsersPerStorage: 4, Capacity: 8 * units.GB}, 3)
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.NumNodes() != orig.NumNodes() || got.NumEdges() != orig.NumEdges() || got.NumUsers() != orig.NumUsers() {
+		t.Fatalf("round trip size mismatch: %d/%d nodes, %d/%d edges, %d/%d users",
+			got.NumNodes(), orig.NumNodes(), got.NumEdges(), orig.NumEdges(), got.NumUsers(), orig.NumUsers())
+	}
+	for i := range orig.Nodes() {
+		o, g := orig.Node(NodeID(i)), got.Node(NodeID(i))
+		if o.Name != g.Name || o.Kind != g.Kind || o.Capacity != g.Capacity {
+			t.Errorf("node %d mismatch: %+v vs %+v", i, o, g)
+		}
+	}
+	for i := range orig.Edges() {
+		if orig.Edge(i) != got.Edge(i) {
+			t.Errorf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{not json")); err == nil {
+		t.Error("expected decode error for invalid JSON")
+	}
+	spec := `{"warehouse":"VW","storages":[{"name":"IS1","capacity_bytes":1,"users":1}],"links":[["VW","NOPE"]]}`
+	if _, err := Decode(strings.NewReader(spec)); err == nil {
+		t.Error("expected error for unknown link endpoint")
+	}
+	spec = `{"warehouse":"VW","storages":[{"name":"IS1","capacity_bytes":1,"users":1}],"links":[["NOPE","IS1"]]}`
+	if _, err := Decode(strings.NewReader(spec)); err == nil {
+		t.Error("expected error for unknown link endpoint (first)")
+	}
+}
+
+func TestDecodeDefaultsWarehouseName(t *testing.T) {
+	spec := `{"storages":[{"name":"IS1","capacity_bytes":5,"users":2}],"links":[["VW","IS1"]]}`
+	topo, err := Decode(strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if topo.Node(topo.Warehouse()).Name != "VW" {
+		t.Error("default warehouse name not applied")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	topo := smallTopo(t)
+	dot := topo.DOT()
+	for _, want := range []string{"graph topology {", `"VW" [shape=box`, `"IS1" --`, `-- "IS2";`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestMarshalJSON(t *testing.T) {
+	topo := smallTopo(t)
+	b, err := topo.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	if !strings.Contains(string(b), `"warehouse":"VW"`) {
+		t.Errorf("MarshalJSON output unexpected: %s", b)
+	}
+}
+
+// FuzzDecode hammers the topology spec parser: it must never panic, and
+// any topology it accepts must satisfy the structural invariants.
+func FuzzDecode(f *testing.F) {
+	good, _ := Metro(GenConfig{Storages: 3, UsersPerStorage: 1, Capacity: units.GB}, 1).MarshalJSON()
+	f.Add(string(good))
+	f.Add(`{"warehouse":"VW","storages":[],"links":[]}`)
+	f.Add(`{"storages":[{"name":"A","capacity_bytes":-5,"users":1}],"links":[["VW","A"]]}`)
+	f.Add(`{"warehouse":"X","storages":[{"name":"X"}],"links":[]}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, in string) {
+		topo, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if !topo.Connected() {
+			t.Fatal("accepted disconnected topology")
+		}
+		if topo.Node(topo.Warehouse()).Kind != KindWarehouse {
+			t.Fatal("warehouse invariant broken")
+		}
+		for _, n := range topo.Nodes() {
+			if n.Kind == KindStorage && n.Capacity < 0 {
+				t.Fatal("accepted negative capacity")
+			}
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/vodsim/vsp/internal/units"
+)
+
+// GenConfig parameterizes the topology generators. Zero fields take the
+// paper's defaults (Table 4 / §5.1): 19 intermediate storages, 10 users per
+// neighborhood, 5 GB of disk per storage.
+type GenConfig struct {
+	Storages        int         // number of intermediate storages
+	UsersPerStorage int         // users attached to each storage
+	Capacity        units.Bytes // per-storage disk capacity
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Storages == 0 {
+		c.Storages = 19
+	}
+	if c.UsersPerStorage == 0 {
+		c.UsersPerStorage = 10
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 5 * units.GB
+	}
+	return c
+}
+
+// Star builds a hub-and-spoke network: every storage links directly to the
+// warehouse. It is the degenerate case in which no storage-to-storage
+// sharing is possible except through the warehouse.
+func Star(cfg GenConfig) *Topology {
+	cfg = cfg.withDefaults()
+	b := NewBuilder()
+	vw := b.Warehouse("VW")
+	for i := 0; i < cfg.Storages; i++ {
+		is := b.Storage(fmt.Sprintf("IS%d", i+1), cfg.Capacity)
+		b.Connect(vw, is)
+		b.AttachUsers(is, cfg.UsersPerStorage)
+	}
+	return mustBuild(b)
+}
+
+// Chain builds a linear network VW - IS1 - IS2 - ... - ISn, the worst case
+// for path length and the best case for en-route caching.
+func Chain(cfg GenConfig) *Topology {
+	cfg = cfg.withDefaults()
+	b := NewBuilder()
+	prev := b.Warehouse("VW")
+	for i := 0; i < cfg.Storages; i++ {
+		is := b.Storage(fmt.Sprintf("IS%d", i+1), cfg.Capacity)
+		b.Connect(prev, is)
+		b.AttachUsers(is, cfg.UsersPerStorage)
+		prev = is
+	}
+	return mustBuild(b)
+}
+
+// Tree builds a complete k-ary distribution tree rooted at the warehouse,
+// the classic cable head-end hierarchy. Interior and leaf storages all
+// serve a neighborhood.
+func Tree(cfg GenConfig, fanout int) *Topology {
+	cfg = cfg.withDefaults()
+	if fanout < 1 {
+		fanout = 2
+	}
+	b := NewBuilder()
+	vw := b.Warehouse("VW")
+	parents := []NodeID{vw}
+	made := 0
+	for made < cfg.Storages {
+		var next []NodeID
+		for _, p := range parents {
+			for k := 0; k < fanout && made < cfg.Storages; k++ {
+				made++
+				is := b.Storage(fmt.Sprintf("IS%d", made), cfg.Capacity)
+				b.Connect(p, is)
+				b.AttachUsers(is, cfg.UsersPerStorage)
+				next = append(next, is)
+			}
+		}
+		parents = next
+	}
+	return mustBuild(b)
+}
+
+// Ring builds a cycle VW - IS1 - ... - ISn - VW, a common metro-fiber
+// layout that offers two disjoint routes between any pair of nodes.
+func Ring(cfg GenConfig) *Topology {
+	cfg = cfg.withDefaults()
+	b := NewBuilder()
+	vw := b.Warehouse("VW")
+	prev := vw
+	var first NodeID
+	for i := 0; i < cfg.Storages; i++ {
+		is := b.Storage(fmt.Sprintf("IS%d", i+1), cfg.Capacity)
+		if i == 0 {
+			first = is
+		}
+		b.Connect(prev, is)
+		b.AttachUsers(is, cfg.UsersPerStorage)
+		prev = is
+	}
+	if cfg.Storages >= 2 {
+		b.Connect(prev, vw)
+	}
+	_ = first
+	return mustBuild(b)
+}
+
+// Metro builds the experimental topology standing in for the paper's
+// unpublished Fig. 4 graph: one warehouse, a two-level hierarchy of
+// regional hubs and neighborhood storages, plus seeded cross links between
+// sibling neighborhoods. With the default configuration it has exactly 20
+// nodes (1 VW + 19 IS) like the paper's testbed.
+//
+// The generator is deterministic for a given (cfg, seed).
+func Metro(cfg GenConfig, seed int64) *Topology {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	vw := b.Warehouse("VW")
+
+	// Roughly a quarter of the storages act as regional hubs hanging off
+	// the warehouse; the rest are neighborhood storages under the hubs.
+	numHubs := cfg.Storages / 4
+	if numHubs < 1 {
+		numHubs = 1
+	}
+	hubs := make([]NodeID, 0, numHubs)
+	made := 0
+	for i := 0; i < numHubs; i++ {
+		made++
+		h := b.Storage(fmt.Sprintf("IS%d", made), cfg.Capacity)
+		b.Connect(vw, h)
+		b.AttachUsers(h, cfg.UsersPerStorage)
+		hubs = append(hubs, h)
+	}
+	// Adjacent hubs are interconnected (metro ring between head-ends).
+	for i := 1; i < len(hubs); i++ {
+		b.Connect(hubs[i-1], hubs[i])
+	}
+
+	leavesPerHub := make([][]NodeID, numHubs)
+	for made < cfg.Storages {
+		h := (made - numHubs) % numHubs
+		made++
+		leaf := b.Storage(fmt.Sprintf("IS%d", made), cfg.Capacity)
+		b.Connect(hubs[h], leaf)
+		b.AttachUsers(leaf, cfg.UsersPerStorage)
+		leavesPerHub[h] = append(leavesPerHub[h], leaf)
+	}
+	// Seeded cross links between consecutive leaves of the same hub, taken
+	// with probability 1/2: enough redundancy for alternative routes
+	// without collapsing the hierarchy.
+	for _, leaves := range leavesPerHub {
+		for i := 1; i < len(leaves); i++ {
+			if rng.Intn(2) == 0 {
+				b.Connect(leaves[i-1], leaves[i])
+			}
+		}
+	}
+	return mustBuild(b)
+}
+
+// Paper returns the default experimental topology of §5.1: 20 nodes
+// (1 warehouse + 19 intermediate storages), 10 users per neighborhood,
+// with the given per-storage capacity. It is Metro with a fixed seed so
+// every experiment sees the identical graph.
+func Paper(capacity units.Bytes) *Topology {
+	return Metro(GenConfig{Storages: 19, UsersPerStorage: 10, Capacity: capacity}, 1997)
+}
+
+// Random builds a connected random graph: a random spanning tree over the
+// warehouse and storages plus extraEdges additional random links.
+func Random(cfg GenConfig, extraEdges int, seed int64) *Topology {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	ids := make([]NodeID, 0, cfg.Storages+1)
+	ids = append(ids, b.Warehouse("VW"))
+	for i := 0; i < cfg.Storages; i++ {
+		is := b.Storage(fmt.Sprintf("IS%d", i+1), cfg.Capacity)
+		b.AttachUsers(is, cfg.UsersPerStorage)
+		ids = append(ids, is)
+	}
+	// Random spanning tree: attach each node to a random earlier node.
+	for i := 1; i < len(ids); i++ {
+		b.Connect(ids[rng.Intn(i)], ids[i])
+	}
+	// Extra links between distinct random pairs; duplicates are skipped by
+	// retrying a bounded number of times.
+	for k := 0; k < extraEdges; k++ {
+		for attempt := 0; attempt < 32; attempt++ {
+			i, j := rng.Intn(len(ids)), rng.Intn(len(ids))
+			if i == j {
+				continue
+			}
+			if _, dup := edgeExists(b, ids[i], ids[j]); dup {
+				continue
+			}
+			b.Connect(ids[i], ids[j])
+			break
+		}
+	}
+	return mustBuild(b)
+}
+
+func edgeExists(b *Builder, a, c NodeID) (int, bool) {
+	for i, e := range b.edges {
+		if (e.A == a && e.B == c) || (e.A == c && e.B == a) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func mustBuild(b *Builder) *Topology {
+	t, err := b.Build()
+	if err != nil {
+		panic("topology generator produced invalid graph: " + err.Error())
+	}
+	return t
+}

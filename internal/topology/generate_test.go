@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/vodsim/vsp/internal/units"
+)
+
+func checkGenerated(t *testing.T, topo *Topology, storages, usersPer int) {
+	t.Helper()
+	if topo.NumStorages() != storages {
+		t.Errorf("storages = %d, want %d", topo.NumStorages(), storages)
+	}
+	if topo.NumUsers() != storages*usersPer {
+		t.Errorf("users = %d, want %d", topo.NumUsers(), storages*usersPer)
+	}
+	if !topo.Connected() {
+		t.Error("generated topology disconnected")
+	}
+	for _, is := range topo.Storages() {
+		if got := len(topo.UsersAt(is)); got != usersPer {
+			t.Errorf("UsersAt(%d) = %d, want %d", is, got, usersPer)
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	topo := Star(GenConfig{Storages: 5, UsersPerStorage: 3, Capacity: units.GB})
+	checkGenerated(t, topo, 5, 3)
+	if topo.NumEdges() != 5 {
+		t.Errorf("star edges = %d, want 5", topo.NumEdges())
+	}
+	if topo.Degree(topo.Warehouse()) != 5 {
+		t.Error("star warehouse degree wrong")
+	}
+}
+
+func TestChain(t *testing.T) {
+	topo := Chain(GenConfig{Storages: 4, UsersPerStorage: 2, Capacity: units.GB})
+	checkGenerated(t, topo, 4, 2)
+	if topo.NumEdges() != 4 {
+		t.Errorf("chain edges = %d, want 4", topo.NumEdges())
+	}
+	if topo.Degree(topo.Warehouse()) != 1 {
+		t.Error("chain warehouse degree wrong")
+	}
+}
+
+func TestTree(t *testing.T) {
+	topo := Tree(GenConfig{Storages: 7, UsersPerStorage: 1, Capacity: units.GB}, 2)
+	checkGenerated(t, topo, 7, 1)
+	if topo.NumEdges() != 7 {
+		t.Errorf("tree edges = %d, want 7", topo.NumEdges())
+	}
+	// Fanout sanitization.
+	topo = Tree(GenConfig{Storages: 3, UsersPerStorage: 1, Capacity: units.GB}, 0)
+	checkGenerated(t, topo, 3, 1)
+}
+
+func TestRing(t *testing.T) {
+	topo := Ring(GenConfig{Storages: 6, UsersPerStorage: 2, Capacity: units.GB})
+	checkGenerated(t, topo, 6, 2)
+	if topo.NumEdges() != 7 {
+		t.Errorf("ring edges = %d, want 7", topo.NumEdges())
+	}
+	for _, n := range topo.Nodes() {
+		if topo.Degree(n.ID) != 2 {
+			t.Errorf("ring node %d degree = %d, want 2", n.ID, topo.Degree(n.ID))
+		}
+	}
+}
+
+func TestMetroDeterminism(t *testing.T) {
+	a := Metro(GenConfig{}, 7)
+	b := Metro(GenConfig{}, 7)
+	if a.NumEdges() != b.NumEdges() || a.NumNodes() != b.NumNodes() {
+		t.Fatal("Metro not deterministic in size")
+	}
+	for i := range a.Edges() {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatal("Metro not deterministic in edges")
+		}
+	}
+	checkGenerated(t, a, 19, 10)
+}
+
+func TestPaperTopology(t *testing.T) {
+	topo := Paper(5 * units.GB)
+	if topo.NumNodes() != 20 {
+		t.Fatalf("paper topology has %d nodes, want 20", topo.NumNodes())
+	}
+	checkGenerated(t, topo, 19, 10)
+	for _, is := range topo.Storages() {
+		if topo.Node(is).Capacity != 5*units.GB {
+			t.Error("capacity not propagated")
+		}
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		topo := Random(GenConfig{Storages: 12, UsersPerStorage: 2, Capacity: units.GB}, 6, seed)
+		checkGenerated(t, topo, 12, 2)
+		if topo.NumEdges() < 12 {
+			t.Error("random topology missing spanning tree edges")
+		}
+	}
+}
+
+func TestGenDefaults(t *testing.T) {
+	cfg := GenConfig{}.withDefaults()
+	if cfg.Storages != 19 || cfg.UsersPerStorage != 10 || cfg.Capacity != 5*units.GB {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}

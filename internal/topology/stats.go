@@ -1,0 +1,74 @@
+package topology
+
+// Stats summarizes a topology's shape: the numbers an operator checks when
+// judging how far streams travel and how much route diversity exists.
+type Stats struct {
+	Nodes     int
+	Storages  int
+	Links     int
+	Users     int
+	Diameter  int     // longest shortest path (hops)
+	AvgHops   float64 // mean shortest-path hops from the warehouse to each storage
+	MaxDegree int
+	Leaves    int // storages with a single link
+}
+
+// ComputeStats derives the summary with BFS from every node (hop metric,
+// not rate-weighted).
+func (t *Topology) ComputeStats() Stats {
+	s := Stats{
+		Nodes:    t.NumNodes(),
+		Storages: t.NumStorages(),
+		Links:    t.NumEdges(),
+		Users:    t.NumUsers(),
+	}
+	for _, n := range t.nodes {
+		if d := t.Degree(n.ID); d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if n.Kind == KindStorage && t.Degree(n.ID) == 1 {
+			s.Leaves++
+		}
+	}
+	var fromVW []int
+	for src := range t.nodes {
+		dist := t.bfs(NodeID(src))
+		for dst, d := range dist {
+			if d > s.Diameter {
+				s.Diameter = d
+			}
+			if NodeID(src) == t.warehouse && t.nodes[dst].Kind == KindStorage {
+				fromVW = append(fromVW, d)
+			}
+		}
+	}
+	if len(fromVW) > 0 {
+		total := 0
+		for _, d := range fromVW {
+			total += d
+		}
+		s.AvgHops = float64(total) / float64(len(fromVW))
+	}
+	return s
+}
+
+// bfs returns hop distances from src to every node.
+func (t *Topology) bfs(src NodeID) []int {
+	dist := make([]int, len(t.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, a := range t.adj[n] {
+			if dist[a.to] == -1 {
+				dist[a.to] = dist[n] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return dist
+}

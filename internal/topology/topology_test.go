@@ -1,0 +1,209 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/vodsim/vsp/internal/units"
+)
+
+func smallTopo(t *testing.T) *Topology {
+	t.Helper()
+	b := NewBuilder()
+	vw := b.Warehouse("VW")
+	is1 := b.Storage("IS1", 5*units.GB)
+	is2 := b.Storage("IS2", 8*units.GB)
+	b.Connect(vw, is1)
+	b.Connect(is1, is2)
+	b.AttachUsers(is1, 1)
+	b.AttachUsers(is2, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+func TestBuilderBasics(t *testing.T) {
+	topo := smallTopo(t)
+	if topo.NumNodes() != 3 || topo.NumStorages() != 2 || topo.NumEdges() != 2 {
+		t.Fatalf("counts: nodes=%d storages=%d edges=%d", topo.NumNodes(), topo.NumStorages(), topo.NumEdges())
+	}
+	if topo.NumUsers() != 3 {
+		t.Fatalf("users = %d, want 3", topo.NumUsers())
+	}
+	vw := topo.Warehouse()
+	if topo.Node(vw).Kind != KindWarehouse {
+		t.Error("warehouse node has wrong kind")
+	}
+	is1, ok := topo.Lookup("IS1")
+	if !ok {
+		t.Fatal("Lookup(IS1) failed")
+	}
+	if topo.Node(is1).Capacity != 5*units.GB {
+		t.Error("IS1 capacity wrong")
+	}
+	if got := topo.Degree(is1); got != 2 {
+		t.Errorf("Degree(IS1) = %d, want 2", got)
+	}
+	is2, _ := topo.Lookup("IS2")
+	if got := len(topo.UsersAt(is2)); got != 2 {
+		t.Errorf("UsersAt(IS2) = %d, want 2", got)
+	}
+	if topo.User(topo.UsersAt(is2)[0]).Local != is2 {
+		t.Error("user local storage mismatch")
+	}
+	if _, ok := topo.EdgeBetween(vw, is1); !ok {
+		t.Error("EdgeBetween(VW, IS1) not found")
+	}
+	if _, ok := topo.EdgeBetween(vw, is2); ok {
+		t.Error("EdgeBetween(VW, IS2) unexpectedly found")
+	}
+	if len(topo.Storages()) != 2 {
+		t.Error("Storages() wrong length")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{A: 1, B: 2}
+	if e.Other(1) != 2 || e.Other(2) != 1 {
+		t.Error("Edge.Other wrong")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("no warehouse", func(t *testing.T) {
+		b := NewBuilder()
+		b.Storage("IS1", units.GB)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for missing warehouse")
+		}
+	})
+	t.Run("two warehouses", func(t *testing.T) {
+		b := NewBuilder()
+		b.Warehouse("VW1")
+		b.Warehouse("VW2")
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for second warehouse")
+		}
+	})
+	t.Run("disconnected", func(t *testing.T) {
+		b := NewBuilder()
+		b.Warehouse("VW")
+		b.Storage("IS1", units.GB)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for disconnected graph")
+		}
+	})
+	t.Run("self loop", func(t *testing.T) {
+		b := NewBuilder()
+		vw := b.Warehouse("VW")
+		b.Connect(vw, vw)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for self loop")
+		}
+	})
+	t.Run("duplicate edge", func(t *testing.T) {
+		b := NewBuilder()
+		vw := b.Warehouse("VW")
+		is := b.Storage("IS1", units.GB)
+		b.Connect(vw, is)
+		b.Connect(is, vw)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for duplicate edge")
+		}
+	})
+	t.Run("duplicate name", func(t *testing.T) {
+		b := NewBuilder()
+		vw := b.Warehouse("X")
+		is := b.Storage("X", units.GB)
+		b.Connect(vw, is)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for duplicate name")
+		}
+	})
+	t.Run("attach to warehouse", func(t *testing.T) {
+		b := NewBuilder()
+		vw := b.Warehouse("VW")
+		is := b.Storage("IS1", units.GB)
+		b.Connect(vw, is)
+		b.AttachUsers(vw, 3)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for users on warehouse")
+		}
+	})
+	t.Run("negative capacity", func(t *testing.T) {
+		b := NewBuilder()
+		vw := b.Warehouse("VW")
+		is := b.Storage("IS1", -units.GB)
+		b.Connect(vw, is)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for negative capacity")
+		}
+	})
+	t.Run("invalid ids", func(t *testing.T) {
+		b := NewBuilder()
+		b.Warehouse("VW")
+		b.Connect(0, 99)
+		b.AttachUsers(99, 1)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for invalid ids")
+		}
+	})
+}
+
+func TestNodeKindString(t *testing.T) {
+	if KindWarehouse.String() != "warehouse" || KindStorage.String() != "storage" {
+		t.Error("NodeKind.String wrong")
+	}
+	if NodeKind(9).String() != "NodeKind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestNeighborsIteration(t *testing.T) {
+	topo := smallTopo(t)
+	is1, _ := topo.Lookup("IS1")
+	var tos []NodeID
+	topo.Neighbors(is1, func(edgeIdx int, to NodeID) {
+		e := topo.Edge(edgeIdx)
+		if e.Other(is1) != to {
+			t.Error("edge/to mismatch in Neighbors")
+		}
+		tos = append(tos, to)
+	})
+	if len(tos) != 2 {
+		t.Fatalf("Neighbors visited %d edges, want 2", len(tos))
+	}
+	// Sorted by far endpoint.
+	if tos[0] > tos[1] {
+		t.Error("Neighbors not sorted by endpoint")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	// Chain VW - IS1 - IS2 - IS3: diameter 3, avg hops (1+2+3)/3 = 2,
+	// one leaf storage (IS3; IS1 and IS2 have degree 2).
+	topo := Chain(GenConfig{Storages: 3, UsersPerStorage: 2, Capacity: units.GB})
+	s := topo.ComputeStats()
+	if s.Nodes != 4 || s.Storages != 3 || s.Links != 3 || s.Users != 6 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.Diameter != 3 {
+		t.Errorf("diameter = %d, want 3", s.Diameter)
+	}
+	if s.AvgHops != 2 {
+		t.Errorf("avg hops = %g, want 2", s.AvgHops)
+	}
+	if s.Leaves != 1 {
+		t.Errorf("leaves = %d, want 1", s.Leaves)
+	}
+	if s.MaxDegree != 2 {
+		t.Errorf("max degree = %d, want 2", s.MaxDegree)
+	}
+	// Star: diameter 2 (leaf-to-leaf), avg hops 1, all storages leaves.
+	star := Star(GenConfig{Storages: 5, UsersPerStorage: 1, Capacity: units.GB})
+	ss := star.ComputeStats()
+	if ss.Diameter != 2 || ss.AvgHops != 1 || ss.Leaves != 5 || ss.MaxDegree != 5 {
+		t.Errorf("star stats: %+v", ss)
+	}
+}

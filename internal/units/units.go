@@ -1,0 +1,96 @@
+// Package units defines the physical quantities the cost model is built
+// from: data sizes, bandwidths and money. Keeping them as distinct types
+// prevents the classic unit mix-ups (bytes vs bits, $/byte vs $/(byte·s))
+// that plague charging-rate arithmetic.
+package units
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/vodsim/vsp/internal/simtime"
+)
+
+// Bytes is a data size in bytes.
+type Bytes int64
+
+// Common sizes. The paper quotes decimal units (2.5 GB video files), so
+// these are SI powers of 1000, not binary powers of 1024.
+const (
+	KB Bytes = 1000
+	MB Bytes = 1000 * KB
+	GB Bytes = 1000 * MB
+	TB Bytes = 1000 * GB
+)
+
+// GBf constructs a size from a (possibly fractional) number of gigabytes.
+func GBf(gb float64) Bytes { return Bytes(math.Round(gb * float64(GB))) }
+
+// Float returns the size as a float64 number of bytes.
+func (b Bytes) Float() float64 { return float64(b) }
+
+// GBytes returns the size in gigabytes.
+func (b Bytes) GBytes() float64 { return float64(b) / float64(GB) }
+
+// String formats the size with a human-readable SI suffix.
+func (b Bytes) String() string {
+	v := float64(b)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	sign := ""
+	if neg {
+		sign = "-"
+	}
+	switch {
+	case v >= float64(TB):
+		return fmt.Sprintf("%s%.2fTB", sign, v/float64(TB))
+	case v >= float64(GB):
+		return fmt.Sprintf("%s%.2fGB", sign, v/float64(GB))
+	case v >= float64(MB):
+		return fmt.Sprintf("%s%.2fMB", sign, v/float64(MB))
+	case v >= float64(KB):
+		return fmt.Sprintf("%s%.2fKB", sign, v/float64(KB))
+	default:
+		return fmt.Sprintf("%s%dB", sign, int64(v))
+	}
+}
+
+// BytesPerSec is a bandwidth in bytes per second.
+type BytesPerSec float64
+
+// Mbps constructs a bandwidth from megabits per second, the unit the paper
+// uses for stream reservations (e.g. 6 Mbps per MPEG-2 stream).
+func Mbps(mbit float64) BytesPerSec { return BytesPerSec(mbit * 1e6 / 8) }
+
+// Mbit returns the bandwidth in megabits per second.
+func (r BytesPerSec) Mbit() float64 { return float64(r) * 8 / 1e6 }
+
+// Over returns the number of bytes transferred at rate r for duration d.
+func (r BytesPerSec) Over(d simtime.Duration) Bytes {
+	return Bytes(math.Round(float64(r) * d.Seconds()))
+}
+
+// String formats the bandwidth in Mbps.
+func (r BytesPerSec) String() string { return fmt.Sprintf("%.2fMbps", r.Mbit()) }
+
+// Money is an amount in the charging system's currency. The paper uses an
+// "arbitrary charging system" whose values stand in for dollars; we keep a
+// float64 because costs are sums of products of rates and byte·seconds.
+type Money float64
+
+// Cents constructs money from a number of cents.
+func Cents(c float64) Money { return Money(c / 100) }
+
+// IsFinite reports whether the amount is a normal number (not NaN/Inf).
+func (m Money) IsFinite() bool { return !math.IsNaN(float64(m)) && !math.IsInf(float64(m), 0) }
+
+// String formats the amount as dollars with 4 decimal places (charging-rate
+// products are routinely fractional cents).
+func (m Money) String() string { return fmt.Sprintf("$%.4f", float64(m)) }
+
+// ApproxEqual reports whether two amounts differ by less than tol.
+func (m Money) ApproxEqual(other Money, tol float64) bool {
+	return math.Abs(float64(m-other)) < tol
+}

@@ -1,0 +1,89 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/vodsim/vsp/internal/simtime"
+)
+
+func TestBytesConstruction(t *testing.T) {
+	if GBf(2.5) != 2500*MB {
+		t.Errorf("GBf(2.5) = %d, want %d", GBf(2.5), 2500*MB)
+	}
+	if GBf(0) != 0 {
+		t.Error("GBf(0) must be 0")
+	}
+	if got := Bytes(3300 * 1000 * 1000).GBytes(); math.Abs(got-3.3) > 1e-9 {
+		t.Errorf("GBytes = %g, want 3.3", got)
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{500, "500B"},
+		{2 * KB, "2.00KB"},
+		{2500 * MB, "2.50GB"},
+		{3 * TB, "3.00TB"},
+		{-2 * GB, "-2.00GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	r := Mbps(6)
+	if math.Abs(float64(r)-750000) > 1e-9 {
+		t.Errorf("Mbps(6) = %v bytes/s, want 750000", float64(r))
+	}
+	if math.Abs(r.Mbit()-6) > 1e-12 {
+		t.Errorf("Mbit round trip = %g", r.Mbit())
+	}
+	// The paper's worked example: 6 Mbps for 90 minutes = 4.05e9 bytes.
+	got := r.Over(90 * simtime.Minute)
+	if got != Bytes(4.05e9) {
+		t.Errorf("6Mbps over 90min = %d, want 4.05e9", got)
+	}
+}
+
+func TestMoney(t *testing.T) {
+	if Cents(100) != Money(1) {
+		t.Error("Cents(100) must be $1")
+	}
+	m := Money(259.2)
+	if m.String() != "$259.2000" {
+		t.Errorf("String = %q", m.String())
+	}
+	if !m.ApproxEqual(Money(259.2000004), 1e-3) {
+		t.Error("ApproxEqual within tolerance failed")
+	}
+	if m.ApproxEqual(Money(259.3), 1e-3) {
+		t.Error("ApproxEqual outside tolerance succeeded")
+	}
+	if !m.IsFinite() {
+		t.Error("finite amount reported non-finite")
+	}
+	if Money(math.NaN()).IsFinite() || Money(math.Inf(1)).IsFinite() {
+		t.Error("NaN/Inf must be non-finite")
+	}
+}
+
+func TestPropertyBandwidthOverLinear(t *testing.T) {
+	f := func(mbit uint16, secs uint16) bool {
+		r := Mbps(float64(mbit))
+		d := simtime.Duration(secs)
+		got := r.Over(d)
+		want := Bytes(math.Round(float64(mbit) * 1e6 / 8 * float64(secs)))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+)
+
+// Trace I/O: a plain CSV reservation log with the columns
+//
+//	user,video,start_seconds
+//
+// and an optional header row. This is the interchange format for replaying
+// recorded reservation batches through the scheduler (the paper evaluates
+// synthetic Zipf batches; a deployment would feed its real log here).
+
+// WriteCSV writes the set as CSV with a header row.
+func WriteCSV(w io.Writer, s Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user", "video", "start_seconds"}); err != nil {
+		return err
+	}
+	for _, r := range s {
+		rec := []string{
+			strconv.Itoa(int(r.User)),
+			strconv.Itoa(int(r.Video)),
+			strconv.FormatInt(int64(r.Start), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a reservation log and validates every row against the
+// topology and catalog. A first row of "user,video,start_seconds" is
+// treated as a header and skipped.
+func ReadCSV(r io.Reader, topo *topology.Topology, catalog *media.Catalog) (Set, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	var set Set
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && rec[0] == "user" {
+			continue
+		}
+		user, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad user %q", line, rec[0])
+		}
+		video, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad video %q", line, rec[1])
+		}
+		start, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad start %q", line, rec[2])
+		}
+		if user < 0 || user >= topo.NumUsers() {
+			return nil, fmt.Errorf("workload: trace line %d: unknown user %d", line, user)
+		}
+		if video < 0 || video >= catalog.Len() {
+			return nil, fmt.Errorf("workload: trace line %d: unknown video %d", line, video)
+		}
+		if start < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: negative start %d", line, start)
+		}
+		set = append(set, Request{
+			User:  topology.UserID(user),
+			Video: media.VideoID(video),
+			Start: simtime.Time(start),
+		})
+	}
+	SortChronological(set)
+	return set, nil
+}

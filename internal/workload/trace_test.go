@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 4, UsersPerStorage: 5, Capacity: units.GB})
+	cat := testCatalog(t, 50)
+	orig, err := Generate(topo, cat, Config{Alpha: 0.271, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()), topo, cat)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("len = %d, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("row %d: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 2, UsersPerStorage: 2, Capacity: units.GB})
+	cat := testCatalog(t, 5)
+	set, err := ReadCSV(strings.NewReader("0,1,3600\n1,0,100\n"), topo, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("len = %d", len(set))
+	}
+	// Sorted chronologically on read.
+	if set[0].Start != 100 || set[1].Start != 3600 {
+		t.Errorf("not sorted: %+v", set)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 2, UsersPerStorage: 2, Capacity: units.GB})
+	cat := testCatalog(t, 5)
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"wrong column count", "0,1\n"},
+		{"bad user", "x,1,100\n"},
+		{"bad video", "0,x,100\n"},
+		{"bad start", "0,1,x\n"},
+		{"unknown user", "99,1,100\n"},
+		{"unknown video", "0,99,100\n"},
+		{"negative start", "0,1,-5\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.in), topo, cat); err == nil {
+				t.Errorf("expected error for %q", c.in)
+			}
+		})
+	}
+	// Empty input is an empty, valid set.
+	set, err := ReadCSV(strings.NewReader(""), topo, cat)
+	if err != nil || len(set) != 0 {
+		t.Errorf("empty input: %v, %v", set, err)
+	}
+}

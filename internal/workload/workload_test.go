@@ -1,0 +1,326 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+func testCatalog(t *testing.T, n int) *media.Catalog {
+	t.Helper()
+	c, err := media.Uniform(n, units.GBf(2.5), 90*simtime.Minute, units.Mbps(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestZipfNormalization(t *testing.T) {
+	for _, alpha := range []float64{0, 0.1, 0.271, 0.5, 0.7, 1} {
+		z, err := NewZipf(100, alpha)
+		if err != nil {
+			t.Fatalf("NewZipf(%g): %v", alpha, err)
+		}
+		total := 0.0
+		for r := 0; r < 100; r++ {
+			p := z.Prob(r)
+			if p < 0 {
+				t.Fatalf("negative probability at rank %d", r)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("alpha=%g: probabilities sum to %g", alpha, total)
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	// Smaller alpha = more skew = higher mass on rank 0.
+	zLow, _ := NewZipf(500, 0.1)
+	zHigh, _ := NewZipf(500, 0.7)
+	if zLow.Prob(0) <= zHigh.Prob(0) {
+		t.Errorf("P0(alpha=0.1)=%g must exceed P0(alpha=0.7)=%g", zLow.Prob(0), zHigh.Prob(0))
+	}
+	// alpha=1 is exactly uniform.
+	zUni, _ := NewZipf(10, 1)
+	for r := 0; r < 10; r++ {
+		if math.Abs(zUni.Prob(r)-0.1) > 1e-12 {
+			t.Errorf("alpha=1 rank %d prob %g, want 0.1", r, zUni.Prob(r))
+		}
+	}
+	// Probabilities are non-increasing in rank.
+	z, _ := NewZipf(50, 0.271)
+	for r := 1; r < 50; r++ {
+		if z.Prob(r) > z.Prob(r-1)+1e-15 {
+			t.Errorf("prob not monotone at rank %d", r)
+		}
+	}
+	if z.Alpha() != 0.271 {
+		t.Error("Alpha() wrong")
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 0.5); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := NewZipf(10, -0.1); err == nil {
+		t.Error("expected error for negative alpha")
+	}
+	if _, err := NewZipf(10, 1.5); err == nil {
+		t.Error("expected error for alpha > 1")
+	}
+}
+
+func TestZipfDrawMatchesProb(t *testing.T) {
+	z, _ := NewZipf(20, 0.271)
+	rng := rand.New(rand.NewSource(9))
+	const n = 200000
+	counts := make([]int, 20)
+	for i := 0; i < n; i++ {
+		counts[z.Draw(rng)]++
+	}
+	for r := 0; r < 20; r++ {
+		emp := float64(counts[r]) / n
+		want := z.Prob(r)
+		if math.Abs(emp-want) > 0.01 {
+			t.Errorf("rank %d: empirical %g vs %g", r, emp, want)
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 4, UsersPerStorage: 5, Capacity: units.GB})
+	cat := testCatalog(t, 50)
+	set, err := Generate(topo, cat, Config{Alpha: 0.271, Window: 6 * simtime.Hour, Seed: 3})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(set) != 20 {
+		t.Fatalf("len = %d, want 20 (one per user)", len(set))
+	}
+	lo, hi := set.Window()
+	if lo < 0 || hi >= simtime.Time(6*simtime.Hour) {
+		t.Errorf("window [%v, %v] outside config", lo, hi)
+	}
+	// Sorted chronologically.
+	for i := 1; i < len(set); i++ {
+		if set[i].Start < set[i-1].Start {
+			t.Fatal("set not sorted")
+		}
+	}
+	// Deterministic.
+	set2, _ := Generate(topo, cat, Config{Alpha: 0.271, Window: 6 * simtime.Hour, Seed: 3})
+	for i := range set {
+		if set[i] != set2[i] {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+	// Different seeds differ.
+	set3, _ := Generate(topo, cat, Config{Alpha: 0.271, Window: 6 * simtime.Hour, Seed: 4})
+	same := true
+	for i := range set {
+		if set[i] != set3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sets")
+	}
+}
+
+func TestGenerateMultipleRequestsPerUser(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 2, UsersPerStorage: 3, Capacity: units.GB})
+	cat := testCatalog(t, 10)
+	set, err := Generate(topo, cat, Config{RequestsPerUser: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 24 {
+		t.Errorf("len = %d, want 24", len(set))
+	}
+}
+
+func TestGenerateEmptyCatalog(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 2, UsersPerStorage: 1, Capacity: units.GB})
+	empty := &media.Catalog{}
+	if _, err := Generate(topo, empty, Config{}); err == nil {
+		t.Error("expected error for empty catalog")
+	}
+}
+
+func TestArrivalProcesses(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 10, UsersPerStorage: 10, Capacity: units.GB})
+	cat := testCatalog(t, 20)
+	for _, a := range []Arrival{Uniform, EveningPeak, Slotted} {
+		set, err := Generate(topo, cat, Config{Arrival: a, Window: 12 * simtime.Hour, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		lo, hi := set.Window()
+		if lo < 0 || hi >= simtime.Time(12*simtime.Hour) {
+			t.Errorf("%v: window [%v, %v]", a, lo, hi)
+		}
+		if a == Slotted {
+			for _, r := range set {
+				if int64(r.Start)%int64(30*simtime.Minute) != 0 {
+					t.Errorf("slotted start %v not on a half-hour boundary", r.Start)
+				}
+			}
+		}
+	}
+	// EveningPeak should put more mass in the second half than the first.
+	set, _ := Generate(topo, cat, Config{Arrival: EveningPeak, Window: 12 * simtime.Hour, Seed: 6})
+	half := simtime.Time(6 * simtime.Hour)
+	late := 0
+	for _, r := range set {
+		if r.Start >= half {
+			late++
+		}
+	}
+	if late <= len(set)/2 {
+		t.Errorf("evening peak: only %d/%d requests in second half", late, len(set))
+	}
+}
+
+func TestArrivalString(t *testing.T) {
+	if Uniform.String() != "uniform" || EveningPeak.String() != "evening-peak" || Slotted.String() != "slotted" {
+		t.Error("Arrival.String wrong")
+	}
+	if Arrival(9).String() != "Arrival(9)" {
+		t.Error("unknown arrival string wrong")
+	}
+}
+
+func TestByVideoPartition(t *testing.T) {
+	set := Set{
+		{User: 0, Video: 2, Start: 30},
+		{User: 1, Video: 1, Start: 20},
+		{User: 2, Video: 2, Start: 10},
+		{User: 3, Video: 2, Start: 10},
+	}
+	parts := set.ByVideo()
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d, want 2", len(parts))
+	}
+	v2 := parts[2]
+	if len(v2) != 3 {
+		t.Fatalf("video 2 has %d requests", len(v2))
+	}
+	if v2[0].Start != 10 || v2[0].User != 2 || v2[1].User != 3 || v2[2].Start != 30 {
+		t.Errorf("video 2 ordering wrong: %+v", v2)
+	}
+	videos := set.Videos()
+	if len(videos) != 2 || videos[0] != 1 || videos[1] != 2 {
+		t.Errorf("Videos() = %v", videos)
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	var s Set
+	lo, hi := s.Window()
+	if lo != 0 || hi != 0 {
+		t.Error("empty window must be (0,0)")
+	}
+}
+
+// Property: the Zipf CDF is monotone and Draw never panics or returns an
+// out-of-range rank.
+func TestPropertyZipfDrawInRange(t *testing.T) {
+	f := func(seed int64, n uint8, alphaQ uint8) bool {
+		size := int(n%200) + 1
+		alpha := float64(alphaQ%101) / 100
+		z, err := NewZipf(size, alpha)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			r := z.Draw(rng)
+			if r < 0 || r >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalityZeroMatchesGlobal(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 4, UsersPerStorage: 5, Capacity: units.GB})
+	cat := testCatalog(t, 50)
+	base, err := Generate(topo, cat, Config{Alpha: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Generate(topo, cat, Config{Alpha: 0.1, Seed: 9, Locality: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] != zero[i] {
+			t.Fatal("Locality=0 must reproduce the default stream")
+		}
+	}
+}
+
+func TestLocalityDiversifiesNeighborhoods(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 6, UsersPerStorage: 30, Capacity: units.GB})
+	cat := testCatalog(t, 100)
+	// Strong skew, full locality: each neighborhood should concentrate on
+	// a different top title.
+	set, err := Generate(topo, cat, Config{Alpha: 0.1, Seed: 9, Locality: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topPer := map[topology.NodeID]media.VideoID{}
+	for _, is := range topo.Storages() {
+		counts := map[media.VideoID]int{}
+		for _, r := range set {
+			if topo.User(r.User).Local == is {
+				counts[r.Video]++
+			}
+		}
+		best, bestN := media.VideoID(-1), 0
+		for v, n := range counts {
+			if n > bestN {
+				best, bestN = v, n
+			}
+		}
+		topPer[is] = best
+	}
+	distinct := map[media.VideoID]bool{}
+	for _, v := range topPer {
+		distinct[v] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("full locality produced identical top titles everywhere: %v", topPer)
+	}
+	// Still a valid request set: every video within catalog bounds.
+	for _, r := range set {
+		if int(r.Video) < 0 || int(r.Video) >= cat.Len() {
+			t.Fatalf("rank out of range: %d", r.Video)
+		}
+	}
+}
+
+func TestLocalityValidation(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 2, UsersPerStorage: 1, Capacity: units.GB})
+	cat := testCatalog(t, 5)
+	if _, err := Generate(topo, cat, Config{Locality: -0.1}); err == nil {
+		t.Error("expected error for negative locality")
+	}
+	if _, err := Generate(topo, cat, Config{Locality: 1.5}); err == nil {
+		t.Error("expected error for locality > 1")
+	}
+}

@@ -1,0 +1,232 @@
+// Package vsp is a Go implementation of the distributed Video-On-Reservation
+// service paradigm of Won & Srivastava, "Distributed Service Paradigm for
+// Remote Video Retrieval Request" (HPDC 1997).
+//
+// The library models a video warehouse, intermediate storages and a priced
+// network; maps service schedules to a monetary cost (storage byte·seconds
+// plus network bytes, Eqs. 1–4 of the paper); and computes low-cost
+// schedules with the paper's two-phase heuristic: greedy per-file
+// scheduling followed by heat-ranked storage-overflow resolution. An
+// event-driven simulator executes schedules and independently verifies
+// feasibility and cost. See the examples directory for end-to-end usage.
+//
+// The root package is a façade: it re-exports the library's types and wires
+// the common flows together. The heavy lifting lives in internal packages
+// (topology, pricing, routing, media, workload, schedule, cost, occupancy,
+// ivs, sorp, scheduler, vodsim, bandwidth, experiment).
+package vsp
+
+import (
+	"github.com/vodsim/vsp/internal/analysis"
+	"github.com/vodsim/vsp/internal/audit"
+	"github.com/vodsim/vsp/internal/bandwidth"
+	"github.com/vodsim/vsp/internal/billing"
+	"github.com/vodsim/vsp/internal/experiment"
+	"github.com/vodsim/vsp/internal/ivs"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/occupancy"
+	"github.com/vodsim/vsp/internal/online"
+	"github.com/vodsim/vsp/internal/placement"
+	"github.com/vodsim/vsp/internal/pricing"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/scheduler"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/sorp"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/vodsim"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Core model types.
+type (
+	// Topology is the service network: one warehouse, intermediate
+	// storages, links and attached users.
+	Topology = topology.Topology
+	// TopologyBuilder assembles a Topology node by node.
+	TopologyBuilder = topology.Builder
+	// TopologySpec is the JSON-serializable form of a Topology.
+	TopologySpec = topology.Spec
+	// GenConfig parameterizes the topology generators.
+	GenConfig = topology.GenConfig
+	// NodeID identifies a storage node.
+	NodeID = topology.NodeID
+	// UserID identifies a subscriber.
+	UserID = topology.UserID
+
+	// Catalog is the warehouse's title list.
+	Catalog = media.Catalog
+	// Video is one title.
+	Video = media.Video
+	// VideoID identifies a title.
+	VideoID = media.VideoID
+	// CatalogConfig parameterizes synthetic catalog generation.
+	CatalogConfig = media.GenConfig
+
+	// Request is one reservation (user, video, start time).
+	Request = workload.Request
+	// RequestSet is a reservation batch for one scheduling cycle.
+	RequestSet = workload.Set
+	// WorkloadConfig parameterizes request-batch generation.
+	WorkloadConfig = workload.Config
+	// Arrival selects the request start-time process.
+	Arrival = workload.Arrival
+
+	// Schedule is a complete service schedule (deliveries + residencies).
+	Schedule = schedule.Schedule
+	// FileSchedule is the schedule of a single title.
+	FileSchedule = schedule.FileSchedule
+	// Delivery is one network stream record.
+	Delivery = schedule.Delivery
+	// Residency is one cached-copy record.
+	Residency = schedule.Residency
+
+	// Outcome reports a scheduling run (costs, overflows, victims).
+	Outcome = scheduler.Outcome
+	// SchedulerConfig selects the scheduler's policies.
+	SchedulerConfig = scheduler.Config
+	// HeatMetric selects the overflow victim-ranking criterion.
+	HeatMetric = sorp.HeatMetric
+	// CachePolicy selects where streams open tentative caches.
+	CachePolicy = ivs.Policy
+
+	// Overflow is a storage over-commit situation.
+	Overflow = occupancy.Overflow
+	// SimReport is the event simulator's execution report.
+	SimReport = vodsim.Report
+	// LinkCapacities caps link bandwidth for the feasibility extension.
+	LinkCapacities = bandwidth.Capacities
+	// BandwidthResult reports a bandwidth-resolution pass.
+	BandwidthResult = bandwidth.Result
+	// NodeCapacities caps storage I/O bandwidth.
+	NodeCapacities = bandwidth.NodeCaps
+	// NodeBandwidthResult reports a storage-I/O resolution pass.
+	NodeBandwidthResult = bandwidth.NodeResult
+	// AnalysisReport holds cache-effectiveness statistics of a schedule.
+	AnalysisReport = analysis.Report
+	// OnlineResult reports a run of the reactive online baseline.
+	OnlineResult = online.Result
+	// BillingStatement attributes a schedule's cost to its reservations.
+	BillingStatement = billing.Statement
+	// BillingLine is one reservation's invoice.
+	BillingLine = billing.Line
+	// PlacementPlan is a strategic-replication plan of standing copies.
+	PlacementPlan = placement.Plan
+	// PlacementConfig parameterizes the placement planner.
+	PlacementConfig = placement.Config
+	// AuditReport collects the findings of System.Audit.
+	AuditReport = audit.Report
+
+	// Money is an amount in the charging system's currency.
+	Money = units.Money
+	// Bytes is a data size.
+	Bytes = units.Bytes
+	// BytesPerSec is a bandwidth.
+	BytesPerSec = units.BytesPerSec
+	// Time is an instant in the scheduling cycle (seconds).
+	Time = simtime.Time
+	// Duration is a span of simulated time (seconds).
+	Duration = simtime.Duration
+
+	// SRate is a storage charging rate in $/(byte·second).
+	SRate = pricing.SRate
+	// NRate is a network charging rate in $/byte.
+	NRate = pricing.NRate
+
+	// ExperimentParams is one configuration of the paper's evaluation.
+	ExperimentParams = experiment.Params
+	// ExperimentResult is the outcome of one configuration.
+	ExperimentResult = experiment.Result
+	// Figure is a regenerated paper figure.
+	Figure = experiment.Figure
+)
+
+// Heat metrics (paper Eqs. 8–11).
+const (
+	Period        = sorp.Period
+	PeriodPerCost = sorp.PeriodPerCost
+	Space         = sorp.Space
+	SpacePerCost  = sorp.SpacePerCost
+)
+
+// Caching policies.
+const (
+	CacheOnRoute       = ivs.CacheOnRoute
+	CacheAtDestination = ivs.CacheAtDestination
+	NoCaching          = ivs.NoCaching
+)
+
+// Arrival processes.
+const (
+	UniformArrival     = workload.Uniform
+	EveningPeakArrival = workload.EveningPeak
+	SlottedArrival     = workload.Slotted
+)
+
+// Convenient size, time and rate constructors.
+var (
+	// GB constructs sizes from gigabytes (fractional allowed).
+	GB = units.GBf
+	// Mbps constructs bandwidths from megabits per second.
+	Mbps = units.Mbps
+	// PerGB converts a quoted $/GB network rate to the internal unit.
+	PerGB = pricing.PerGB
+	// PerGBSec converts a quoted $/(GB·s) storage rate.
+	PerGBSec = pricing.PerGBSec
+)
+
+// Time units.
+const (
+	Second = simtime.Second
+	Minute = simtime.Minute
+	Hour   = simtime.Hour
+	Day    = simtime.Day
+)
+
+// PerGBHour converts a quoted $/(GB·hour) storage rate — the calibration
+// the paper's figures imply — to the internal $/(byte·s) unit.
+func PerGBHour(v float64) SRate { return SRate(v / (1e9 * 3600)) }
+
+// NewTopology returns a builder for a custom topology.
+func NewTopology() *TopologyBuilder { return topology.NewBuilder() }
+
+// Topology generators.
+var (
+	StarTopology   = topology.Star
+	ChainTopology  = topology.Chain
+	TreeTopology   = topology.Tree
+	RingTopology   = topology.Ring
+	MetroTopology  = topology.Metro
+	PaperTopology  = topology.Paper
+	RandomTopology = topology.Random
+	DecodeTopology = topology.Decode
+)
+
+// Catalog constructors.
+var (
+	UniformCatalog  = media.Uniform
+	GenerateCatalog = media.Generate
+	NewCatalog      = media.NewCatalog
+)
+
+// GenerateWorkload draws a reservation batch for the topology's users.
+var GenerateWorkload = workload.Generate
+
+// Reservation trace I/O (CSV: user,video,start_seconds).
+var (
+	ReadTrace  = workload.ReadCSV
+	WriteTrace = workload.WriteCSV
+)
+
+// Experiment entry points (see EXPERIMENTS.md).
+var (
+	RunExperiment  = experiment.RunOne
+	RunExperiments = experiment.RunMany
+	Figure5        = experiment.Fig5
+	Figure6        = experiment.Fig6
+	Figure7        = experiment.Fig7
+	Figure8        = experiment.Fig8
+	Figure9        = experiment.Fig9
+	FigureOnline   = experiment.FigOnline
+	RunTable5      = experiment.RunTable5
+)
