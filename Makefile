@@ -15,11 +15,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiment/ ./internal/scheduler/ ./internal/sorp/ ./internal/server/ .
+	$(GO) test -race ./...
 
 soak:
 	$(GO) test -tags soak -run TestSoak -v .
@@ -48,6 +48,7 @@ examples:
 	$(GO) run ./examples/capacity-planning
 	$(GO) run ./examples/trace-replay
 	$(GO) run ./examples/replication
+	$(GO) run ./examples/fault-repair
 
 clean:
 	rm -rf $(BIN) figures

@@ -1,5 +1,6 @@
 // Command vspserve runs the Video-On-Reservation scheduling service over
-// HTTP for a fixed infrastructure.
+// HTTP for a fixed infrastructure. It shuts down gracefully on SIGINT or
+// SIGTERM, draining in-flight requests for up to 10 seconds.
 //
 // Usage:
 //
@@ -13,24 +14,33 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/vodsim/vsp/internal/cli"
 	"github.com/vodsim/vsp/internal/server"
 )
 
+// drainTimeout bounds how long shutdown waits for in-flight requests.
+const drainTimeout = 10 * time.Second
+
 func main() {
 	var (
-		topoPath = flag.String("topo", "", "topology JSON (required)")
-		catPath  = flag.String("catalog", "", "catalog JSON (required)")
-		srate    = flag.Float64("srate", 5, "storage charging rate ($/GB·hour)")
-		nrate    = flag.Float64("nrate", 500, "network charging rate ($/GB)")
-		addr     = flag.String("addr", ":8080", "listen address")
+		topoPath    = flag.String("topo", "", "topology JSON (required)")
+		catPath     = flag.String("catalog", "", "catalog JSON (required)")
+		srate       = flag.Float64("srate", 5, "storage charging rate ($/GB·hour)")
+		nrate       = flag.Float64("nrate", 500, "network charging rate ($/GB)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		idleTimeout = flag.Duration("idle-timeout", 120*time.Second, "keep-alive connection idle timeout")
+		reqTimeout  = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handling budget (503 when exceeded)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *catPath == "" {
@@ -48,11 +58,35 @@ func main() {
 	model := cli.BuildModel(topo, cat, *srate, *nrate)
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.New(model),
+		Handler:      server.NewWithOptions(model, server.Options{RequestTimeout: *reqTimeout}),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 120 * time.Second,
+		IdleTimeout:  *idleTimeout,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("vspserve: %d storages, %d users, %d titles; listening on %s",
 		topo.NumStorages(), topo.NumUsers(), cat.Len(), *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("vspserve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		log.Printf("vspserve: shutting down, draining for up to %v", drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("vspserve: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("vspserve: %v", err)
+		}
+		log.Print("vspserve: stopped")
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/vodsim/vsp/internal/cli"
+	"github.com/vodsim/vsp/internal/faults"
 	"github.com/vodsim/vsp/internal/media"
 	"github.com/vodsim/vsp/internal/scheduler"
 	"github.com/vodsim/vsp/internal/simtime"
@@ -55,10 +56,16 @@ func fixtures(t *testing.T) (topoP, catP, reqP, schedP string) {
 	return
 }
 
+func baseOptions(topoP, catP, schedP, reqP string) options {
+	return options{topoPath: topoP, catPath: catP, schedPath: schedP, reqPath: reqP, srate: 2, nrate: 400}
+}
+
 func TestSimulateCleanSchedule(t *testing.T) {
 	topoP, catP, reqP, schedP := fixtures(t)
 	var sb strings.Builder
-	if err := run(&sb, topoP, catP, schedP, reqP, 2, 400, true, true); err != nil {
+	o := baseOptions(topoP, catP, schedP, reqP)
+	o.verbose, o.auditRun = true, true
+	if err := run(&sb, o); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := sb.String()
@@ -70,12 +77,15 @@ func TestSimulateCleanSchedule(t *testing.T) {
 	if strings.Contains(out, "WARNING") {
 		t.Error("cost mismatch warning on a clean schedule")
 	}
+	if strings.Contains(out, "faults") {
+		t.Error("fault summary printed without a scenario")
+	}
 }
 
 func TestSimulateWithoutRequests(t *testing.T) {
 	topoP, catP, _, schedP := fixtures(t)
 	var sb strings.Builder
-	if err := run(&sb, topoP, catP, schedP, "", 2, 400, false, false); err != nil {
+	if err := run(&sb, baseOptions(topoP, catP, schedP, "")); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if strings.Contains(sb.String(), "validation") {
@@ -83,15 +93,149 @@ func TestSimulateWithoutRequests(t *testing.T) {
 	}
 }
 
+// faultFixtures builds a triangle infrastructure (VW—IS1—IS2 plus a direct
+// VW—IS2 edge) and a schedule whose 90m and 180m services hang off a cached
+// copy at IS2, so cutting the VW—IS2 link just before 90m knocks both out
+// while an alternate route survives.
+func faultFixtures(t *testing.T) (topoP, catP, reqP, schedP string, sc *faults.Scenario) {
+	t.Helper()
+	dir := t.TempDir()
+	b := topology.NewBuilder()
+	vw := b.Warehouse("VW")
+	is1 := b.Storage("IS1", 10*units.GB)
+	is2 := b.Storage("IS2", 10*units.GB)
+	b.Connect(vw, is1)
+	b.Connect(is1, is2)
+	b.Connect(vw, is2)
+	b.AttachUsers(is1, 1)
+	b.AttachUsers(is2, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := media.Uniform(1, units.GBf(2.5), 90*simtime.Minute, units.Mbps(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2 := topo.UsersAt(is2)
+	reqs := workload.Set{
+		{User: topo.UsersAt(is1)[0], Video: 0, Start: 0},
+		{User: u2[0], Video: 0, Start: simtime.Time(90 * simtime.Minute)},
+		{User: u2[1], Video: 0, Start: simtime.Time(180 * simtime.Minute)},
+	}
+	model := cli.BuildModel(topo, cat, 2, 400)
+	out, err := scheduler.Run(model, reqs, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e02, ok := topo.EdgeBetween(vw, is2)
+	if !ok {
+		t.Fatal("no VW-IS2 edge")
+	}
+	sc = &faults.Scenario{Faults: []faults.Fault{{
+		Kind: faults.LinkDown, Edge: e02,
+		From: simtime.Time(85 * simtime.Minute), Until: simtime.Time(95 * simtime.Minute),
+	}}}
+	topoP = filepath.Join(dir, "topo.json")
+	f, _ := os.Create(topoP)
+	if err := topo.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	catP = filepath.Join(dir, "catalog.json")
+	f, _ = os.Create(catP)
+	if err := cat.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reqP = filepath.Join(dir, "requests.json")
+	if err := cli.SaveJSON(reqP, reqs); err != nil {
+		t.Fatal(err)
+	}
+	schedP = filepath.Join(dir, "schedule.json")
+	if err := cli.SaveJSON(schedP, out.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+// TestSimulateWithFaultsAndRepair is the end-to-end -faults/-repair
+// demonstration: inject a link failure (warehouse alive), observe missed
+// services, and repair them with zero losses.
+func TestSimulateWithFaultsAndRepair(t *testing.T) {
+	topoP, catP, reqP, schedP, sc := faultFixtures(t)
+	dir := t.TempDir()
+	faultsP := filepath.Join(dir, "scenario.json")
+	f, err := os.Create(faultsP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var sb strings.Builder
+	o := baseOptions(topoP, catP, schedP, reqP)
+	o.faultsPath = faultsP
+	o.repairPolicy = "reroute"
+	o.repairOut = filepath.Join(dir, "repaired.json")
+	if err := run(&sb, o); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"faults            1", "inject: link", "repair(reroute)", "missed 0", "delta", "degraded cache"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "repaired 0/0") {
+		t.Errorf("scenario impacted nothing; demonstration proves nothing:\n%s", out)
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("clean-run cost cross-check fired under faults:\n%s", out)
+	}
+	if _, err := os.Stat(o.repairOut); err != nil {
+		t.Errorf("repaired schedule not written: %v", err)
+	}
+}
+
+// TestSimulateGeneratedFaults: -fault-seed synthesizes a scenario when no
+// file is given.
+func TestSimulateGeneratedFaults(t *testing.T) {
+	topoP, catP, _, schedP := fixtures(t)
+	var sb strings.Builder
+	o := baseOptions(topoP, catP, schedP, "")
+	o.faultSeed = 42
+	if err := run(&sb, o); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "inject:") {
+		t.Errorf("no injected faults reported:\n%s", sb.String())
+	}
+}
+
 func TestSimulateErrors(t *testing.T) {
 	topoP, catP, reqP, schedP := fixtures(t)
 	var sb strings.Builder
-	if err := run(&sb, "", catP, schedP, reqP, 2, 400, false, false); err == nil {
+	o := baseOptions("", catP, schedP, reqP)
+	if err := run(&sb, o); err == nil {
 		t.Error("expected missing-flag error")
 	}
-	// Wrong requests file (mismatched coverage) must fail validation: use
-	// the schedule file as the "requests" (decode error).
-	if err := run(&sb, topoP, catP, schedP, filepath.Join(t.TempDir(), "none.json"), 2, 400, false, false); err == nil {
+	o = baseOptions(topoP, catP, schedP, filepath.Join(t.TempDir(), "none.json"))
+	if err := run(&sb, o); err == nil {
 		t.Error("expected load error")
+	}
+	// -repair without a scenario is a usage error.
+	o = baseOptions(topoP, catP, schedP, "")
+	o.repairPolicy = "reroute"
+	if err := run(&sb, o); err == nil {
+		t.Error("expected -repair-without-faults error")
+	}
+	// Unknown repair policy.
+	o.faultSeed = 1
+	o.repairPolicy = "pray"
+	if err := run(&sb, o); err == nil {
+		t.Error("expected unknown-policy error")
 	}
 }

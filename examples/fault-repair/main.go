@@ -1,0 +1,88 @@
+// Fault injection and failure-aware repair: what happens to a carefully
+// scheduled evening when an intermediate storage goes dark for two hours —
+// and how much of it a repair policy can save.
+//
+// The example schedules a metro-scale batch, injects a storage outage plus
+// a link failure, measures the damage (missed service starts, severed
+// in-flight streams, wiped cache copies), then repairs the schedule two
+// ways: re-routing around the damage via surviving copies, and the blunt
+// warehouse-direct fallback. Both are re-executed under the same scenario
+// to prove the repaired plan actually survives it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vsp "github.com/vodsim/vsp"
+)
+
+func main() {
+	topo := vsp.MetroTopology(vsp.GenConfig{
+		Storages: 9, UsersPerStorage: 10, Capacity: vsp.GB(12),
+	}, 21)
+	catalog, err := vsp.GenerateCatalog(vsp.CatalogConfig{Titles: 40, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := vsp.NewSystem(topo, catalog, vsp.PerGBHour(1), vsp.PerGB(900))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := vsp.GenerateWorkload(topo, catalog, vsp.WorkloadConfig{Alpha: 0.1, Seed: 22})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sys.Schedule(reqs, vsp.SchedulerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled %d reservations, fault-free Ψ(S) = %v\n\n", len(reqs), out.FinalCost)
+
+	// The scenario: one storage dark from 2 pm to 4 pm, one link cut for
+	// an hour in the middle of it.
+	is := topo.Storages()[0]
+	edge := -1
+	for e := 0; e < topo.NumEdges(); e++ {
+		if ed := topo.Edge(e); ed.A == is || ed.B == is {
+			edge = e
+			break
+		}
+	}
+	if edge < 0 {
+		log.Fatal("storage has no incident link")
+	}
+	scenario := &vsp.FaultScenario{Faults: []vsp.Fault{
+		{Kind: vsp.NodeOutage, Node: is, From: vsp.Time(2 * vsp.Hour), Until: vsp.Time(4 * vsp.Hour)},
+		{Kind: vsp.LinkDown, Edge: edge, From: vsp.Time(3 * vsp.Hour), Until: vsp.Time(4 * vsp.Hour)},
+	}}
+	for _, f := range scenario.Faults {
+		fmt.Printf("inject: %v\n", f)
+	}
+
+	rep := sys.SimulateUnder(out.Schedule, scenario)
+	fmt.Printf("\nunrepaired execution: %d missed starts, %d severed streams, %d dead copies\n",
+		rep.Missed, rep.Severed, rep.DeadResidencies)
+
+	fmt.Println()
+	fmt.Printf("%-12s %-10s %-10s %-8s %-8s %-12s %s\n",
+		"policy", "repaired", "missed", "cache", "vw", "cost delta", "re-run misses")
+	for _, pol := range []vsp.RepairPolicy{vsp.RepairReroute, vsp.RepairVWDirect} {
+		res, err := sys.Repair(out.Schedule, scenario, vsp.RepairOptions{Policy: pol})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rerun := sys.SimulateUnder(res.Schedule, scenario)
+		fmt.Printf("%-12v %-10d %-10d %-8d %-8d %-12v %d\n",
+			pol, res.Repaired, len(res.Missed), res.FromCache, res.FromVW, res.Delta(), rerun.Missed)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: services whose destination itself is dark are")
+	fmt.Println("unservable under any policy, but everything else comes back. The")
+	fmt.Println("reroute policy also weighs surviving cached copies against a fresh")
+	fmt.Println("warehouse stream and takes whichever is cheaper — here the outage")
+	fmt.Println("wiped the useful copies, so both policies fall back to the")
+	fmt.Println("warehouse and coincide. The cost delta prices the outage: what the")
+	fmt.Println("operator pays, over the fault-free plan, to keep serving.")
+}

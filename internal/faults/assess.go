@@ -1,0 +1,257 @@
+package faults
+
+import (
+	"fmt"
+
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+)
+
+// Fate classifies what a fault scenario does to one scheduled delivery.
+type Fate int
+
+const (
+	// FateOK: the delivery streams exactly as scheduled.
+	FateOK Fate = iota
+	// FateSevered: the delivery starts on time but a fault cuts it
+	// mid-playback; the user loses the tail of the stream. Severed
+	// history is unrecoverable — repair cannot help it.
+	FateSevered
+	// FateMissed: the delivery cannot start at all (its source, route or
+	// destination is down at start time). Missed services are the
+	// repairable future.
+	FateMissed
+)
+
+func (f Fate) String() string {
+	switch f {
+	case FateOK:
+		return "ok"
+	case FateSevered:
+		return "severed"
+	case FateMissed:
+		return "missed"
+	default:
+		return fmt.Sprintf("Fate(%d)", int(f))
+	}
+}
+
+// DeliveryImpact is the scenario's verdict on one delivery.
+type DeliveryImpact struct {
+	Fate Fate
+	// At is the sever instant for FateSevered (the stream ran on
+	// [Start, At)); it equals Start for FateMissed.
+	At    simtime.Time
+	Cause string
+}
+
+// ResidencyImpact is the scenario's verdict on one residency.
+type ResidencyImpact struct {
+	Dead bool
+	// DeadAt is when the copy is lost; DeadAt <= Load means it never
+	// materializes at all.
+	DeadAt simtime.Time
+	Cause  string
+}
+
+// FileImpact holds per-index verdicts for one file schedule, parallel to
+// its Deliveries and Residencies slices.
+type FileImpact struct {
+	Deliveries  []DeliveryImpact
+	Residencies []ResidencyImpact
+}
+
+// Impact is the full assessment of a scenario against a schedule.
+type Impact struct {
+	Files           map[media.VideoID]*FileImpact
+	Missed          int
+	Severed         int
+	DeadResidencies int
+}
+
+// Any reports whether the scenario touches the schedule at all.
+func (imp *Impact) Any() bool {
+	return imp != nil && (imp.Missed > 0 || imp.Severed > 0 || imp.DeadResidencies > 0)
+}
+
+// Delivery returns the verdict on delivery i of video v (zero value — OK —
+// when the impact is nil or does not cover it).
+func (imp *Impact) Delivery(v media.VideoID, i int) DeliveryImpact {
+	if imp == nil {
+		return DeliveryImpact{}
+	}
+	fi := imp.Files[v]
+	if fi == nil || i < 0 || i >= len(fi.Deliveries) {
+		return DeliveryImpact{}
+	}
+	return fi.Deliveries[i]
+}
+
+// Residency returns the verdict on residency j of video v.
+func (imp *Impact) Residency(v media.VideoID, j int) ResidencyImpact {
+	if imp == nil {
+		return ResidencyImpact{}
+	}
+	fi := imp.Files[v]
+	if fi == nil || j < 0 || j >= len(fi.Residencies) {
+		return ResidencyImpact{}
+	}
+	return fi.Residencies[j]
+}
+
+// Assess computes, file by file, which deliveries and residencies the
+// scenario breaks, propagating consequences to a fixpoint: a severed or
+// missed feed kills the copy it was filling; a dead copy orphans (misses)
+// every service that would have started at or after its death; orphaned
+// services kill the copies THEY feed, and so on. Readers in flight when a
+// copy dies by cascade keep playing (they consume the prefix already
+// written); readers whose own route touches a dead node are severed by the
+// route analysis directly.
+//
+// A nil or empty scenario returns a nil Impact, on which the query methods
+// report every element untouched.
+func Assess(topo *topology.Topology, catalog *media.Catalog, s *schedule.Schedule, sc *Scenario) *Impact {
+	if sc.Empty() {
+		return nil
+	}
+	imp := &Impact{Files: make(map[media.VideoID]*FileImpact, len(s.Files))}
+	for _, vid := range s.VideoIDs() {
+		fs := s.Files[vid]
+		playback := catalog.Video(vid).Playback
+		fi := &FileImpact{
+			Deliveries:  make([]DeliveryImpact, len(fs.Deliveries)),
+			Residencies: make([]ResidencyImpact, len(fs.Residencies)),
+		}
+		assessDirect(topo, sc, fs, playback, fi)
+		cascade(fs, fi)
+		for _, di := range fi.Deliveries {
+			switch di.Fate {
+			case FateMissed:
+				imp.Missed++
+			case FateSevered:
+				imp.Severed++
+			}
+		}
+		for _, ri := range fi.Residencies {
+			if ri.Dead {
+				imp.DeadResidencies++
+			}
+		}
+		imp.Files[vid] = fi
+	}
+	return imp
+}
+
+// assessDirect applies each fault window to the deliveries and residencies
+// it hits by construction (route membership, hosting node, warehouse
+// admission), before any cascading.
+func assessDirect(topo *topology.Topology, sc *Scenario, fs *schedule.FileSchedule, playback simtime.Duration, fi *FileImpact) {
+	for i, d := range fs.Deliveries {
+		active := simtime.NewInterval(d.Start, d.Start.Add(playback))
+		hit := func(w simtime.Interval, cause string) {
+			cur := &fi.Deliveries[i]
+			if w.Contains(d.Start) {
+				if cur.Fate != FateMissed {
+					*cur = DeliveryImpact{Fate: FateMissed, At: d.Start, Cause: cause}
+				}
+				return
+			}
+			if w.Start > d.Start && w.Start < active.End {
+				if cur.Fate == FateOK || (cur.Fate == FateSevered && w.Start < cur.At) {
+					*cur = DeliveryImpact{Fate: FateSevered, At: w.Start, Cause: cause}
+				}
+			}
+		}
+		for _, n := range d.Route {
+			for _, w := range sc.NodeWindows(n) {
+				hit(w, fmt.Sprintf("node %d down %v", n, w))
+			}
+		}
+		for h := 1; h < len(d.Route); h++ {
+			e, ok := topo.EdgeBetween(d.Route[h-1], d.Route[h])
+			if !ok {
+				continue // structurally invalid hop; vodsim flags it
+			}
+			for _, w := range sc.EdgeWindows(e) {
+				hit(w, fmt.Sprintf("link %d down %v", e, w))
+			}
+		}
+		if d.SourceResidency == schedule.NoResidency {
+			for _, w := range sc.BrownoutWindows() {
+				if w.Contains(d.Start) {
+					fi.Deliveries[i] = DeliveryImpact{Fate: FateMissed, At: d.Start,
+						Cause: fmt.Sprintf("VW brown-out %v", w)}
+				}
+			}
+		}
+	}
+	for j, c := range fs.Residencies {
+		support := c.Support(playback)
+		for _, w := range sc.NodeWindows(c.Loc) {
+			if !w.Overlaps(support) {
+				continue
+			}
+			deadAt := simtime.Max(c.Load, w.Start)
+			markDead(&fi.Residencies[j], deadAt, fmt.Sprintf("node %d down %v", c.Loc, w))
+		}
+		if c.FedBy == schedule.PrePlacedFeed {
+			for _, w := range sc.BrownoutWindows() {
+				if w.Contains(c.Load) {
+					markDead(&fi.Residencies[j], c.Load,
+						fmt.Sprintf("pre-placement blocked by VW brown-out %v", w))
+				}
+			}
+		}
+	}
+}
+
+func markDead(ri *ResidencyImpact, at simtime.Time, cause string) {
+	if !ri.Dead || at < ri.DeadAt {
+		*ri = ResidencyImpact{Dead: true, DeadAt: at, Cause: cause}
+	}
+}
+
+// cascade propagates feed and source failures within one file to a
+// fixpoint. Every pass is monotone (fates only worsen, death times only
+// move earlier), so the loop terminates.
+func cascade(fs *schedule.FileSchedule, fi *FileImpact) {
+	for changed := true; changed; {
+		changed = false
+		for j, c := range fs.Residencies {
+			if c.FedBy == schedule.PrePlacedFeed {
+				continue
+			}
+			feed := fi.Deliveries[c.FedBy]
+			var deadAt simtime.Time
+			switch feed.Fate {
+			case FateMissed:
+				deadAt = c.Load
+			case FateSevered:
+				deadAt = simtime.Max(c.Load, feed.At)
+			default:
+				continue
+			}
+			ri := &fi.Residencies[j]
+			if !ri.Dead || deadAt < ri.DeadAt {
+				markDead(ri, deadAt, fmt.Sprintf("feed delivery %d %s (%s)", c.FedBy, feed.Fate, feed.Cause))
+				changed = true
+			}
+		}
+		for i, d := range fs.Deliveries {
+			if d.SourceResidency == schedule.NoResidency {
+				continue
+			}
+			ri := fi.Residencies[d.SourceResidency]
+			if !ri.Dead || d.Start < ri.DeadAt {
+				continue
+			}
+			if fi.Deliveries[i].Fate != FateMissed {
+				fi.Deliveries[i] = DeliveryImpact{Fate: FateMissed, At: d.Start,
+					Cause: fmt.Sprintf("source residency %d dead at %v (%s)", d.SourceResidency, ri.DeadAt, ri.Cause)}
+				changed = true
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package faults models infrastructure failures the service schedule may
+// encounter while it executes: an intermediate storage going dark, a
+// network link dropping, or the video warehouse browning out (refusing to
+// admit new streams). A Scenario is a set of timed fault windows; it can be
+// written as JSON, generated from a seed, and assessed against a schedule
+// to determine exactly which deliveries and residencies it breaks.
+//
+// The fault semantics are deliberately crisp so the simulator, the repair
+// planner and the tests agree to the second:
+//
+//   - Node outage [t0, t1) at storage n: every copy held at n dies at t0
+//     and its reservation is released; every stream whose route touches n
+//     is severed at t0 if in flight, and cannot start during the window.
+//
+//   - Link down [t0, t1) on edge e: every stream routed over e is severed
+//     at t0 if in flight, and cannot start during the window.
+//
+//   - VW brown-out [t0, t1): the warehouse admits no NEW streams or bulk
+//     pre-placement transfers during the window; streams already flowing
+//     from the warehouse continue (a brown-out is an admission stop, not
+//     an archive loss).
+//
+// Severed in-flight streams are unrecoverable history; missed stream
+// starts are the repairable future — the distinction internal/repair is
+// built on.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/vodsim/vsp/internal/occupancy"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+)
+
+// Kind enumerates the failure classes.
+type Kind int
+
+const (
+	// NodeOutage takes one intermediate storage completely offline.
+	NodeOutage Kind = iota + 1
+	// LinkDown severs one network edge.
+	LinkDown
+	// VWBrownout stops the warehouse from admitting new streams.
+	VWBrownout
+)
+
+var kindNames = map[Kind]string{
+	NodeOutage: "node-outage",
+	LinkDown:   "link-down",
+	VWBrownout: "vw-brownout",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	s, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown kind %d", int(k))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON decodes a kind from its string name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for kk, name := range kindNames {
+		if name == s {
+			*k = kk
+			return nil
+		}
+	}
+	return fmt.Errorf("faults: unknown kind %q", s)
+}
+
+// Fault is one timed failure. The window is half-open: the element is down
+// on [From, Until) and healthy again at Until.
+type Fault struct {
+	Kind Kind `json:"kind"`
+	// Node is the failing storage for NodeOutage (ignored otherwise).
+	Node topology.NodeID `json:"node,omitempty"`
+	// Edge is the failing link's index for LinkDown (ignored otherwise).
+	Edge  int          `json:"edge,omitempty"`
+	From  simtime.Time `json:"from"`
+	Until simtime.Time `json:"until"`
+}
+
+// Window returns the fault's down interval [From, Until).
+func (f Fault) Window() simtime.Interval { return simtime.NewInterval(f.From, f.Until) }
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case NodeOutage:
+		return fmt.Sprintf("node %d down %v", f.Node, f.Window())
+	case LinkDown:
+		return fmt.Sprintf("link %d down %v", f.Edge, f.Window())
+	case VWBrownout:
+		return fmt.Sprintf("VW brown-out %v", f.Window())
+	default:
+		return fmt.Sprintf("unknown fault %v", f.Window())
+	}
+}
+
+// Scenario is a set of faults applied to one schedule execution.
+type Scenario struct {
+	Faults []Fault `json:"faults"`
+}
+
+// Empty reports whether the scenario contains no effective fault windows.
+func (s *Scenario) Empty() bool {
+	if s == nil {
+		return true
+	}
+	for _, f := range s.Faults {
+		if !f.Window().Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks every fault against the topology: node outages must name
+// an intermediate storage (the warehouse never fully dies in this model —
+// use VWBrownout), link downs a valid edge index, and windows must be
+// well-formed.
+func (s *Scenario) Validate(topo *topology.Topology) error {
+	if s == nil {
+		return nil
+	}
+	for i, f := range s.Faults {
+		if f.Until < f.From {
+			return fmt.Errorf("faults: fault %d window ends %v before it starts %v", i, f.Until, f.From)
+		}
+		switch f.Kind {
+		case NodeOutage:
+			if int(f.Node) < 0 || int(f.Node) >= topo.NumNodes() {
+				return fmt.Errorf("faults: fault %d names unknown node %d", i, f.Node)
+			}
+			if topo.Node(f.Node).Kind != topology.KindStorage {
+				return fmt.Errorf("faults: fault %d outages node %d which is not an intermediate storage (use vw-brownout)", i, f.Node)
+			}
+		case LinkDown:
+			if f.Edge < 0 || f.Edge >= topo.NumEdges() {
+				return fmt.Errorf("faults: fault %d names unknown edge %d", i, f.Edge)
+			}
+		case VWBrownout:
+			// no element reference
+		default:
+			return fmt.Errorf("faults: fault %d has unknown kind %d", i, int(f.Kind))
+		}
+	}
+	return nil
+}
+
+// NodeWindows returns the outage windows of node n.
+func (s *Scenario) NodeWindows(n topology.NodeID) []simtime.Interval {
+	if s == nil {
+		return nil
+	}
+	var out []simtime.Interval
+	for _, f := range s.Faults {
+		if f.Kind == NodeOutage && f.Node == n && !f.Window().Empty() {
+			out = append(out, f.Window())
+		}
+	}
+	return out
+}
+
+// EdgeWindows returns the down windows of edge e.
+func (s *Scenario) EdgeWindows(e int) []simtime.Interval {
+	if s == nil {
+		return nil
+	}
+	var out []simtime.Interval
+	for _, f := range s.Faults {
+		if f.Kind == LinkDown && f.Edge == e && !f.Window().Empty() {
+			out = append(out, f.Window())
+		}
+	}
+	return out
+}
+
+// BrownoutWindows returns the warehouse brown-out windows.
+func (s *Scenario) BrownoutWindows() []simtime.Interval {
+	if s == nil {
+		return nil
+	}
+	var out []simtime.Interval
+	for _, f := range s.Faults {
+		if f.Kind == VWBrownout && !f.Window().Empty() {
+			out = append(out, f.Window())
+		}
+	}
+	return out
+}
+
+// NodeDown reports whether node n is down at any point of iv.
+func (s *Scenario) NodeDown(n topology.NodeID, iv simtime.Interval) bool {
+	for _, w := range s.NodeWindows(n) {
+		if w.Overlaps(iv) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeDownAt reports whether node n is down at instant t.
+func (s *Scenario) NodeDownAt(n topology.NodeID, t simtime.Time) bool {
+	for _, w := range s.NodeWindows(n) {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeDown reports whether edge e is down at any point of iv.
+func (s *Scenario) EdgeDown(e int, iv simtime.Interval) bool {
+	for _, w := range s.EdgeWindows(e) {
+		if w.Overlaps(iv) {
+			return true
+		}
+	}
+	return false
+}
+
+// VWBrownedOutAt reports whether the warehouse refuses new streams at t.
+func (s *Scenario) VWBrownedOutAt(t simtime.Time) bool {
+	for _, w := range s.BrownoutWindows() {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// BannedPairs converts the scenario's node outages into the rejective
+// greedy's (interval, storage) exclusion constraints (paper §4.2): a
+// repaired schedule must not place or extend a copy whose space profile
+// overlaps an outage window at the dead node.
+func (s *Scenario) BannedPairs() []occupancy.Banned {
+	if s == nil {
+		return nil
+	}
+	var out []occupancy.Banned
+	for _, f := range s.Faults {
+		if f.Kind == NodeOutage && !f.Window().Empty() {
+			out = append(out, occupancy.Banned{Node: f.Node, Interval: f.Window()})
+		}
+	}
+	return out
+}
+
+// Encode writes the scenario as indented JSON.
+func (s *Scenario) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Decode reads a scenario from JSON.
+func Decode(r io.Reader) (*Scenario, error) {
+	var s Scenario
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("faults: decode: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder()
+	vw := b.Warehouse("VW")
+	is1 := b.Storage("IS1", 10*units.GB)
+	is2 := b.Storage("IS2", 10*units.GB)
+	b.Connect(vw, is1)
+	b.Connect(is1, is2)
+	b.AttachUsers(is1, 1)
+	b.AttachUsers(is2, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := &Scenario{Faults: []Fault{
+		{Kind: NodeOutage, Node: 1, From: 100, Until: 200},
+		{Kind: LinkDown, Edge: 0, From: 50, Until: 75},
+		{Kind: VWBrownout, From: 0, Until: 10},
+	}}
+	var buf bytes.Buffer
+	if err := sc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", sc, got)
+	}
+}
+
+func TestKindJSONRejectsUnknown(t *testing.T) {
+	if _, err := Decode(bytes.NewBufferString(`{"faults":[{"kind":"meteor-strike","from":0,"until":1}]}`)); err == nil {
+		t.Fatal("unknown kind decoded without error")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	topo := testTopo(t)
+	cases := []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"storage outage", Fault{Kind: NodeOutage, Node: 1, From: 0, Until: 10}, true},
+		{"warehouse outage rejected", Fault{Kind: NodeOutage, Node: topo.Warehouse(), From: 0, Until: 10}, false},
+		{"unknown node", Fault{Kind: NodeOutage, Node: 99, From: 0, Until: 10}, false},
+		{"link down", Fault{Kind: LinkDown, Edge: 1, From: 0, Until: 10}, true},
+		{"unknown edge", Fault{Kind: LinkDown, Edge: 9, From: 0, Until: 10}, false},
+		{"brownout", Fault{Kind: VWBrownout, From: 5, Until: 6}, true},
+		{"inverted window", Fault{Kind: VWBrownout, From: 6, Until: 5}, false},
+	}
+	for _, tc := range cases {
+		sc := &Scenario{Faults: []Fault{tc.f}}
+		err := sc.Validate(topo)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+func TestScenarioQueries(t *testing.T) {
+	sc := &Scenario{Faults: []Fault{
+		{Kind: NodeOutage, Node: 2, From: 100, Until: 200},
+		{Kind: LinkDown, Edge: 1, From: 300, Until: 400},
+		{Kind: VWBrownout, From: 500, Until: 600},
+	}}
+	if !sc.NodeDownAt(2, 100) || sc.NodeDownAt(2, 200) || sc.NodeDownAt(1, 150) {
+		t.Error("NodeDownAt window semantics wrong")
+	}
+	if !sc.NodeDown(2, simtime.NewInterval(150, 160)) || sc.NodeDown(2, simtime.NewInterval(200, 300)) {
+		t.Error("NodeDown overlap semantics wrong")
+	}
+	if !sc.EdgeDown(1, simtime.NewInterval(399, 500)) || sc.EdgeDown(0, simtime.NewInterval(0, 1000)) {
+		t.Error("EdgeDown semantics wrong")
+	}
+	if !sc.VWBrownedOutAt(500) || sc.VWBrownedOutAt(600) {
+		t.Error("VWBrownedOutAt semantics wrong")
+	}
+	bans := sc.BannedPairs()
+	if len(bans) != 1 || bans[0].Node != 2 || bans[0].Interval != simtime.NewInterval(100, 200) {
+		t.Errorf("BannedPairs = %+v", bans)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var nilSc *Scenario
+	if !nilSc.Empty() {
+		t.Error("nil scenario should be empty")
+	}
+	if !(&Scenario{}).Empty() {
+		t.Error("zero scenario should be empty")
+	}
+	if !(&Scenario{Faults: []Fault{{Kind: LinkDown, From: 5, Until: 5}}}).Empty() {
+		t.Error("zero-length windows should count as empty")
+	}
+	if (&Scenario{Faults: []Fault{{Kind: LinkDown, From: 5, Until: 6}}}).Empty() {
+		t.Error("real fault should not be empty")
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	topo := testTopo(t)
+	cfg := GenConfig{Seed: 42, NodeOutages: 3, LinkDowns: 2, Brownouts: 1}
+	a, err := Generate(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scenarios")
+	}
+	if err := a.Validate(topo); err != nil {
+		t.Fatalf("generated scenario invalid: %v", err)
+	}
+	if len(a.Faults) != 6 {
+		t.Fatalf("got %d faults, want 6", len(a.Faults))
+	}
+	c, err := Generate(topo, GenConfig{Seed: 43, NodeOutages: 3, LinkDowns: 2, Brownouts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+}

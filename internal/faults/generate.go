@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+)
+
+// GenConfig parameterizes the seeded scenario generator.
+type GenConfig struct {
+	// Seed makes the scenario reproducible; the same seed over the same
+	// topology always yields the same scenario.
+	Seed int64
+	// NodeOutages, LinkDowns and Brownouts count the faults of each kind
+	// to draw (defaults 1, 1, 0).
+	NodeOutages int
+	LinkDowns   int
+	Brownouts   int
+	// Window is the span fault onsets are drawn from (default [0, 24h)).
+	Window simtime.Interval
+	// MeanDuration is the mean repair time; each fault's length is drawn
+	// uniformly from [MeanDuration/2, 3·MeanDuration/2) (default 2h).
+	MeanDuration simtime.Duration
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.NodeOutages == 0 && c.LinkDowns == 0 && c.Brownouts == 0 {
+		c.NodeOutages, c.LinkDowns = 1, 1
+	}
+	if c.Window.Empty() {
+		c.Window = simtime.NewInterval(0, simtime.Time(24*simtime.Hour))
+	}
+	if c.MeanDuration <= 0 {
+		c.MeanDuration = 2 * simtime.Hour
+	}
+	return c
+}
+
+// Generate draws a random fault scenario over the topology. Outage targets
+// are drawn uniformly over the intermediate storages and link targets over
+// the edges; the result always passes Validate.
+func Generate(topo *topology.Topology, cfg GenConfig) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	storages := topo.Storages()
+	if cfg.NodeOutages > 0 && len(storages) == 0 {
+		return nil, fmt.Errorf("faults: topology has no intermediate storages to outage")
+	}
+	if cfg.LinkDowns > 0 && topo.NumEdges() == 0 {
+		return nil, fmt.Errorf("faults: topology has no links to down")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	window := func() (simtime.Time, simtime.Time) {
+		span := int64(cfg.Window.Len())
+		from := cfg.Window.Start.Add(simtime.Duration(rng.Int63n(span)))
+		lo := int64(cfg.MeanDuration) / 2
+		hi := 3 * int64(cfg.MeanDuration) / 2
+		d := lo
+		if hi > lo {
+			d = lo + rng.Int63n(hi-lo)
+		}
+		return from, from.Add(simtime.Duration(d))
+	}
+	sc := &Scenario{}
+	for i := 0; i < cfg.NodeOutages; i++ {
+		from, until := window()
+		sc.Faults = append(sc.Faults, Fault{
+			Kind: NodeOutage, Node: storages[rng.Intn(len(storages))],
+			From: from, Until: until,
+		})
+	}
+	for i := 0; i < cfg.LinkDowns; i++ {
+		from, until := window()
+		sc.Faults = append(sc.Faults, Fault{
+			Kind: LinkDown, Edge: rng.Intn(topo.NumEdges()),
+			From: from, Until: until,
+		})
+	}
+	for i := 0; i < cfg.Brownouts; i++ {
+		from, until := window()
+		sc.Faults = append(sc.Faults, Fault{Kind: VWBrownout, From: from, Until: until})
+	}
+	return sc, nil
+}

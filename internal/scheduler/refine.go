@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/vodsim/vsp/internal/cost"
@@ -30,7 +31,7 @@ type refineResult struct {
 // integration there is often slack — a file rescheduled against the real
 // residual capacity can undercut its phase-1 plan. Cost strictly
 // decreases every accepted move, so the sweep terminates.
-func refine(m *cost.Model, s *schedule.Schedule, parts map[media.VideoID][]workload.Request,
+func refine(ctx context.Context, m *cost.Model, s *schedule.Schedule, parts map[media.VideoID][]workload.Request,
 	policy ivs.Policy, maxPasses int, seeds map[media.VideoID][]schedule.Residency) (refineResult, error) {
 
 	if maxPasses <= 0 {
@@ -42,6 +43,9 @@ func refine(m *cost.Model, s *schedule.Schedule, parts map[media.VideoID][]workl
 	const eps = 1e-9
 
 	for pass := 0; pass < maxPasses; pass++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("scheduler: refine aborted: %w", err)
+		}
 		improved := false
 		for _, vid := range s.VideoIDs() {
 			cur := s.Files[vid]

@@ -5,6 +5,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/vodsim/vsp/internal/cost"
@@ -73,9 +74,21 @@ func (o *Outcome) ResolutionDelta() units.Money { return o.FinalCost - o.Phase1C
 
 // Run executes the two-phase scheduler on a request batch.
 func Run(m *cost.Model, reqs workload.Set, cfg Config) (*Outcome, error) {
+	return Schedule(context.Background(), m, reqs, cfg)
+}
+
+// Schedule is Run with cancellation: the context is checked before every
+// phase-1 file, every phase-2 victim iteration, and every refinement pass,
+// so a cancelled or timed-out ctx aborts the run promptly with ctx.Err()
+// wrapped in the returned error. Work done so far is discarded — a partial
+// schedule is not a schedule.
+func Schedule(ctx context.Context, m *cost.Model, reqs workload.Set, cfg Config) (*Outcome, error) {
 	parts := reqs.ByVideo()
 	s := schedule.New()
 	for _, vid := range reqs.Videos() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("scheduler: phase 1 aborted: %w", err)
+		}
 		fs, err := ivs.ScheduleFile(m, vid, parts[vid], ivs.Options{Policy: cfg.Policy, Seeds: cfg.Seeds[vid]})
 		if err != nil {
 			return nil, fmt.Errorf("scheduler: phase 1 for video %d: %w", vid, err)
@@ -102,7 +115,7 @@ func Run(m *cost.Model, reqs workload.Set, cfg Config) (*Outcome, error) {
 	if cfg.SkipResolution || out.Overflows == 0 {
 		out.FinalCost = out.Phase1Cost
 	} else {
-		res, err := sorp.Resolve(m, s, parts, sorp.Options{Metric: cfg.Metric, Policy: cfg.Policy, Seeds: cfg.Seeds})
+		res, err := sorp.ResolveContext(ctx, m, s, parts, sorp.Options{Metric: cfg.Metric, Policy: cfg.Policy, Seeds: cfg.Seeds})
 		if err != nil {
 			return nil, fmt.Errorf("scheduler: phase 2: %w", err)
 		}
@@ -112,7 +125,7 @@ func Run(m *cost.Model, reqs workload.Set, cfg Config) (*Outcome, error) {
 	}
 
 	if cfg.Refine && !cfg.SkipResolution {
-		rr, err := refine(m, out.Schedule, parts, cfg.Policy, cfg.RefinePasses, cfg.Seeds)
+		rr, err := refine(ctx, m, out.Schedule, parts, cfg.Policy, cfg.RefinePasses, cfg.Seeds)
 		if err != nil {
 			return nil, err
 		}

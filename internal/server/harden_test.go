@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/vodsim/vsp/internal/faults"
+	"github.com/vodsim/vsp/internal/scheduler"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/testutil"
+)
+
+// TestPanicRecovery: a handler panic becomes a 500 JSON error, and the
+// server keeps serving afterwards.
+func TestPanicRecovery(t *testing.T) {
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(f.Model)
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("panic reply is not JSON: %v", err)
+	}
+	if body["error"] == "" {
+		t.Errorf("panic reply missing error field: %v", body)
+	}
+	if strings.Contains(body["error"], "kaboom") {
+		t.Errorf("panic value leaked to the client: %v", body)
+	}
+	// The server must still be alive.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("healthz after panic = %d", resp2.StatusCode)
+	}
+}
+
+// TestOversizedBodyRejected: a body over the cap gets 413, not an OOM.
+func TestOversizedBodyRejected(t *testing.T) {
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(f.Model, Options{MaxRequestBytes: 1 << 10}))
+	t.Cleanup(ts.Close)
+
+	big := `{"requests": [` + strings.Repeat(`{"user":0,"video":0,"start":0},`, 200) + `{"user":0,"video":0,"start":0}]}`
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestRequestTimeout: a request exceeding the budget gets 503 with the
+// JSON timeout body.
+func TestRequestTimeout(t *testing.T) {
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithOptions(f.Model, Options{RequestTimeout: 50 * time.Millisecond})
+	s.mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var msg map[string]string
+	if err := json.Unmarshal(body, &msg); err != nil || msg["error"] == "" {
+		t.Errorf("timeout reply not a JSON error: %q", body)
+	}
+}
+
+// TestSimulateWithFaults: the simulate endpoint executes under a scenario
+// and, when asked, returns a repair summary with zero misses for a
+// recoverable outage.
+func TestSimulateWithFaults(t *testing.T) {
+	ts, f := newTestServer(t)
+	out, err := scheduler.Run(f.Model, f.Requests, scheduler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &faults.Scenario{Faults: []faults.Fault{{
+		Kind: faults.NodeOutage, Node: f.IS1,
+		From: simtime.Time(30 * simtime.Minute), Until: simtime.Time(60 * simtime.Minute),
+	}}}
+	resp := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Schedule: out.Schedule, Faults: sc, Repair: "reroute"})
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, b)
+	}
+	got := decode[SimulateResponse](t, resp)
+	if got.Missed != 2 || got.Severed != 1 {
+		t.Errorf("missed=%d severed=%d, want 2/1", got.Missed, got.Severed)
+	}
+	if got.Repair == nil {
+		t.Fatal("no repair summary in response")
+	}
+	if got.Repair.Repaired != 2 || len(got.Repair.Missed) != 0 {
+		t.Errorf("repair: %+v, want 2 repaired / 0 missed", got.Repair)
+	}
+	if got.Repair.CostDelta == 0 {
+		t.Error("repair reported zero cost delta")
+	}
+	if got.Repair.Schedule == nil {
+		t.Error("repair summary missing repaired schedule")
+	}
+
+	// Unknown repair policy and invalid scenario are client errors.
+	resp = postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Schedule: out.Schedule, Faults: sc, Repair: "pray"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown policy: status = %d, want 400", resp.StatusCode)
+	}
+	bad := &faults.Scenario{Faults: []faults.Fault{{Kind: faults.NodeOutage, Node: 99, From: 0, Until: 1}}}
+	resp = postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Schedule: out.Schedule, Faults: bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid scenario: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// FuzzScheduleDecode feeds arbitrary bodies to the busiest POST endpoint:
+// whatever arrives, the server must answer with a well-formed JSON reply
+// and never panic (the recovery middleware turns a panic into a 500, which
+// the fuzz target also treats as a failure — handlers should reject, not
+// blow up).
+func FuzzScheduleDecode(f *testing.F) {
+	fig, err := testutil.NewFig2()
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := New(fig.Model)
+	f.Add([]byte(`{"requests":[{"user":0,"video":0,"start":0}]}`))
+	f.Add([]byte(`{"requests":[]}`))
+	f.Add([]byte(`{"requests":[{"user":-1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"requests":[{"user":0,"video":99,"start":-5}],"metric":"bogus"}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code == http.StatusInternalServerError {
+			t.Fatalf("body %q produced a 500: %s", body, rec.Body.Bytes())
+		}
+		var reply any
+		if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+			t.Fatalf("body %q produced non-JSON reply %q (status %d)", body, rec.Body.Bytes(), rec.Code)
+		}
+	})
+}

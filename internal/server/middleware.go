@@ -1,0 +1,84 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"time"
+)
+
+// Options tunes the hardening middleware around the API handlers.
+type Options struct {
+	// RequestTimeout bounds each request's handling time; the client gets
+	// 503 with a JSON body when it elapses. 0 means DefaultRequestTimeout;
+	// negative disables the timeout (used by tests that need slow handlers).
+	RequestTimeout time.Duration
+	// MaxRequestBytes caps request body size; larger bodies get 413.
+	// 0 means DefaultMaxRequestBytes.
+	MaxRequestBytes int64
+}
+
+const (
+	// DefaultRequestTimeout is the per-request handling budget.
+	DefaultRequestTimeout = 30 * time.Second
+	// DefaultMaxRequestBytes caps POST bodies at 16 MiB — far above any
+	// legitimate reservation batch, far below a memory-exhaustion payload.
+	DefaultMaxRequestBytes = 16 << 20
+)
+
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.RequestTimeout < 0 {
+		o.RequestTimeout = 0
+	}
+	if o.MaxRequestBytes == 0 {
+		o.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	return o
+}
+
+// harden wraps the router with the protective layers, innermost first:
+// body-size capping (so handlers can never buffer an unbounded body), the
+// per-request timeout, and outermost panic recovery (http.TimeoutHandler
+// propagates inner-handler panics to its caller, so recovery must sit
+// outside it).
+func harden(h http.Handler, opts Options) http.Handler {
+	h = limitBody(h, opts.MaxRequestBytes)
+	if opts.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, opts.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	return recoverPanics(h)
+}
+
+// limitBody caps the request body via http.MaxBytesReader; reads past the
+// limit fail with *http.MaxBytesError, which the JSON decode path maps to
+// 413.
+func limitBody(next http.Handler, limit int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// recoverPanics converts a handler panic into a 500 JSON error instead of
+// tearing down the connection, and logs the panic value. A panicking
+// handler may already have written a partial response; in that case the
+// write of the error body fails silently, which is the best that can be
+// done after the fact.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				log.Printf("server: panic serving %s %s: %v", r.Method, r.URL.Path, v)
+				writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "internal server error"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

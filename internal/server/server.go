@@ -12,14 +12,18 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
 	"github.com/vodsim/vsp/internal/analysis"
 	"github.com/vodsim/vsp/internal/billing"
 	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/faults"
 	"github.com/vodsim/vsp/internal/ivs"
+	"github.com/vodsim/vsp/internal/repair"
 	"github.com/vodsim/vsp/internal/schedule"
 	"github.com/vodsim/vsp/internal/scheduler"
 	"github.com/vodsim/vsp/internal/sorp"
@@ -32,12 +36,16 @@ import (
 // Server serves scheduling requests for one fixed infrastructure. It is
 // safe for concurrent use: the model is read-only after construction.
 type Server struct {
-	model *cost.Model
-	mux   *http.ServeMux
+	model   *cost.Model
+	mux     *http.ServeMux
+	handler http.Handler
 }
 
-// New builds a server around a cost model.
-func New(model *cost.Model) *Server {
+// New builds a server around a cost model with default hardening.
+func New(model *cost.Model) *Server { return NewWithOptions(model, Options{}) }
+
+// NewWithOptions builds a server with explicit hardening options.
+func NewWithOptions(model *cost.Model, opts Options) *Server {
 	s := &Server{model: model, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/topology", s.handleTopology)
@@ -46,11 +54,29 @@ func New(model *cost.Model) *Server {
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/bill", s.handleBill)
+	s.handler = harden(s.mux, opts.withDefaults())
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// decodeBody decodes a JSON request body into v, writing the error reply
+// itself on failure: 413 when the hardening body cap was hit, 400 for any
+// other malformed payload.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return false
+	}
+	return true
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -101,8 +127,7 @@ type ScheduleResponse struct {
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req ScheduleRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Requests) == 0 {
@@ -137,14 +162,16 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	out, err := scheduler.Run(s.model, req.Requests, scheduler.Config{Metric: metric, Policy: policy})
+	// Scheduling respects the request context, so an abandoned connection
+	// or a tripped http.TimeoutHandler stops the computation too.
+	out, err := scheduler.Schedule(r.Context(), s.model, req.Requests, scheduler.Config{Metric: metric, Policy: policy})
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, schedulingStatus(err), err)
 		return
 	}
-	direct, err := scheduler.RunDirect(s.model, req.Requests)
+	direct, err := scheduler.Schedule(r.Context(), s.model, req.Requests, scheduler.Config{Policy: ivs.NoCaching})
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, schedulingStatus(err), err)
 		return
 	}
 	rep := analysis.Summarize(s.model, out.Schedule)
@@ -160,9 +187,30 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// SimulateRequest is the POST /v1/simulate body.
+// SimulateRequest is the POST /v1/simulate body. Faults optionally injects
+// a failure scenario into the execution; Repair additionally asks for a
+// failure-aware repaired schedule ("reroute" or "vw-direct").
 type SimulateRequest struct {
 	Schedule *schedule.Schedule `json:"schedule"`
+	Faults   *faults.Scenario   `json:"faults,omitempty"`
+	Repair   string             `json:"repair,omitempty"`
+}
+
+// RepairSummary reports the repair pass of a faulted simulation.
+type RepairSummary struct {
+	Policy     string                 `json:"policy"`
+	Impacted   int                    `json:"impacted"`
+	Repaired   int                    `json:"repaired"`
+	FromCache  int                    `json:"from_cache"`
+	FromVW     int                    `json:"from_vw"`
+	Missed     []repair.MissedService `json:"missed,omitempty"`
+	DeadCopies int                    `json:"dead_copies"`
+	CostBefore units.Money            `json:"cost_before"`
+	CostAfter  units.Money            `json:"cost_after"`
+	CostDelta  units.Money            `json:"cost_delta"`
+	Copies     int                    `json:"copies"`
+	HitRatePct float64                `json:"hit_rate_pct"`
+	Schedule   *schedule.Schedule     `json:"schedule"`
 }
 
 // SimulateResponse is the POST /v1/simulate reply.
@@ -174,12 +222,17 @@ type SimulateResponse struct {
 	TotalCost   units.Money `json:"total_cost"`
 	NetworkCost units.Money `json:"network_cost"`
 	StorageCost units.Money `json:"storage_cost"`
+	// Fault-injection outcome (zero when no scenario was supplied).
+	Missed          int            `json:"missed,omitempty"`
+	Severed         int            `json:"severed,omitempty"`
+	DeadResidencies int            `json:"dead_residencies,omitempty"`
+	FaultNotes      []string       `json:"fault_notes,omitempty"`
+	Repair          *RepairSummary `json:"repair,omitempty"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.Schedule == nil {
@@ -192,17 +245,52 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rep := vodsim.Execute(s.model.Book(), s.model.Catalog(), req.Schedule)
+	if err := req.Faults.Validate(s.model.Book().Topology()); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rep := vodsim.ExecuteScenario(s.model.Book(), s.model.Catalog(), req.Schedule, req.Faults)
 	resp := SimulateResponse{
-		OK:          rep.OK(),
-		Streams:     rep.Streams,
-		CacheLoads:  rep.CacheLoads,
-		TotalCost:   rep.TotalCost(),
-		NetworkCost: rep.NetworkCost,
-		StorageCost: rep.StorageCost,
+		OK:              rep.OK(),
+		Streams:         rep.Streams,
+		CacheLoads:      rep.CacheLoads,
+		TotalCost:       rep.TotalCost(),
+		NetworkCost:     rep.NetworkCost,
+		StorageCost:     rep.StorageCost,
+		Missed:          rep.Missed,
+		Severed:         rep.Severed,
+		DeadResidencies: rep.DeadResidencies,
+		FaultNotes:      rep.FaultNotes,
 	}
 	for _, v := range rep.Violations {
 		resp.Violations = append(resp.Violations, v.String())
+	}
+	if req.Repair != "" {
+		pol, err := repair.ParsePolicy(req.Repair)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		rres, err := repair.Repair(s.model, req.Schedule, req.Faults, repair.Options{Policy: pol})
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Repair = &RepairSummary{
+			Policy:     pol.String(),
+			Impacted:   rres.Impacted,
+			Repaired:   rres.Repaired,
+			FromCache:  rres.FromCache,
+			FromVW:     rres.FromVW,
+			Missed:     rres.Missed,
+			DeadCopies: rres.DeadCopies,
+			CostBefore: rres.CostBefore,
+			CostAfter:  rres.CostAfter,
+			CostDelta:  rres.Delta(),
+			Copies:     rres.Copies,
+			HitRatePct: rres.HitRatePct,
+			Schedule:   rres.Schedule,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -222,8 +310,7 @@ type BillResponse struct {
 
 func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 	var req BillRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.Schedule == nil {
@@ -247,6 +334,16 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 		Storage: st.Storage,
 		Total:   st.Total(),
 	})
+}
+
+// schedulingStatus maps a scheduling failure to an HTTP status: context
+// expiry (client went away or the request timed out) is 503, anything else
+// is an internal error.
+func schedulingStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }
 
 func parseMetric(s string) (sorp.HeatMetric, error) {

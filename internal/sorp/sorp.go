@@ -10,6 +10,7 @@
 package sorp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -99,6 +100,14 @@ func (r *Result) Delta() units.Money { return r.CostAfter - r.CostBefore }
 // victim re-serves its whole request list R_i). The input schedule is not
 // modified; the resolved schedule is returned in the Result.
 func Resolve(m *cost.Model, s *schedule.Schedule, reqs map[media.VideoID][]workload.Request, opts Options) (*Result, error) {
+	return ResolveContext(context.Background(), m, s, reqs, opts)
+}
+
+// ResolveContext is Resolve with cancellation: the context is checked at
+// the top of every victim iteration, so a cancelled or timed-out ctx stops
+// the (potentially long) resolution loop promptly with ctx.Err() wrapped
+// in the returned error.
+func ResolveContext(ctx context.Context, m *cost.Model, s *schedule.Schedule, reqs map[media.VideoID][]workload.Request, opts Options) (*Result, error) {
 	if opts.Metric == 0 {
 		opts.Metric = SpacePerCost
 	}
@@ -121,6 +130,9 @@ func Resolve(m *cost.Model, s *schedule.Schedule, reqs map[media.VideoID][]workl
 	}
 
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sorp: resolution aborted: %w", err)
+		}
 		overflows := ledger.AllOverflows()
 		if len(overflows) == 0 {
 			break

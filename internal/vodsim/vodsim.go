@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"github.com/vodsim/vsp/internal/des"
+	"github.com/vodsim/vsp/internal/faults"
 	"github.com/vodsim/vsp/internal/media"
 	"github.com/vodsim/vsp/internal/pricing"
 	"github.com/vodsim/vsp/internal/routing"
@@ -79,6 +80,18 @@ type Report struct {
 	// the transient physical footprint. Informational, not a violation of
 	// the paper's model.
 	PhysicalNotes []string
+
+	// Fault-injection outcome (all zero on a fault-free run). Missed
+	// counts services that could not start because their source, route or
+	// destination was down; Severed counts streams cut mid-playback;
+	// DeadResidencies counts cached copies lost (or never written) to a
+	// fault. FaultNotes narrates each casualty. Faults are environment
+	// damage, not schedule bugs, so they are reported here rather than as
+	// Violations.
+	Missed          int
+	Severed         int
+	DeadResidencies int
+	FaultNotes      []string
 }
 
 // TotalCost returns the simulator's independently derived Ψ(S).
@@ -133,13 +146,30 @@ type linkState struct {
 	lastAt    simtime.Time
 }
 
-// Execute runs the schedule on the simulator. The rate book supplies the
-// topology and the prices; the catalog supplies sizes, playback lengths and
-// stream bandwidths.
+// Execute runs the schedule on the simulator under a perfect (fault-free)
+// infrastructure. The rate book supplies the topology and the prices; the
+// catalog supplies sizes, playback lengths and stream bandwidths.
 func Execute(book *pricing.Book, catalog *media.Catalog, s *schedule.Schedule) *Report {
+	return ExecuteScenario(book, catalog, s, nil)
+}
+
+// ExecuteScenario runs the schedule under a fault scenario: affected
+// residencies are marked dead at fault onset (their reservation is released
+// and their disk integration stops), in-flight streams crossing a failed
+// element are severed at onset (link bytes accrue only up to the cut), and
+// services whose source, route or destination is down at start time are
+// missed entirely. A nil or empty scenario reproduces the fault-free run
+// exactly.
+func ExecuteScenario(book *pricing.Book, catalog *media.Catalog, s *schedule.Schedule, sc *faults.Scenario) *Report {
 	topo := book.Topology()
+	imp := faults.Assess(topo, catalog, s, sc)
 	eng := des.New(0)
 	rep := &Report{}
+	if imp != nil {
+		rep.Missed = imp.Missed
+		rep.Severed = imp.Severed
+		rep.DeadResidencies = imp.DeadResidencies
+	}
 
 	nodes := make([]nodeState, topo.NumNodes())
 	for _, n := range topo.Nodes() {
@@ -197,16 +227,39 @@ func Execute(book *pricing.Book, catalog *media.Catalog, s *schedule.Schedule) *
 		for j, c := range fs.Residencies {
 			caches[cacheKey{int(vid), j}] = cacheState{res: c, playback: playback}
 			cc := c
+			rimp := imp.Residency(vid, j)
+			dead := rimp.Dead
+			// deadAt sentinels past every event for a surviving copy, so
+			// every "before death" comparison below degenerates to the
+			// fault-free behaviour.
+			deadAt := cc.LastService.Add(playback).Add(simtime.Second)
+			if dead {
+				deadAt = rimp.DeadAt
+				rep.FaultNotes = append(rep.FaultNotes, fmt.Sprintf(
+					"residency %d of video %d at node %d dead at %v: %s",
+					j, vid, cc.Loc, rimp.DeadAt, rimp.Cause))
+			}
+			if dead && deadAt <= cc.Load {
+				// The copy never materializes: no bulk fill, no
+				// reservation, no disk usage, no load counted.
+				continue
+			}
 			// A pre-placed copy is filled by a bulk transfer from the
 			// warehouse over [Load, Load+P] at the file's data rate: the
 			// route carries exactly size bytes, matching the analytic
-			// PrePlacementCost.
+			// PrePlacementCost. A mid-fill death cuts the transfer short.
 			if cc.FedBy == schedule.PrePlacedFeed {
 				route, err := routeFromVW(cc.Loc)
 				if err != nil {
 					violate(cc.Load, cc.Loc, "pre-placement route: %v", err)
 				} else {
 					bulkRate := size / playback.Seconds()
+					bulkEnd := cc.Load.Add(playback)
+					bulkVol := bulkRate * playback.Seconds()
+					if dead && deadAt < bulkEnd {
+						bulkEnd = deadAt
+						bulkVol = bulkRate * bulkEnd.Sub(cc.Load).Seconds()
+					}
 					for h := 1; h < len(route); h++ {
 						ei, ok := topo.EdgeBetween(route[h-1], route[h])
 						if !ok {
@@ -224,11 +277,11 @@ func Execute(book *pricing.Book, catalog *media.Catalog, s *schedule.Schedule) *
 								ls.peakRate = ls.rate
 							}
 						})
-						schedAt(cc.Load.Add(playback), func(now simtime.Time) {
+						schedAt(bulkEnd, func(now simtime.Time) {
 							ls := &links[edge]
 							ls.streams--
 							ls.rate -= bulkRate
-							ls.bulkBytes += bulkRate * playback.Seconds()
+							ls.bulkBytes += bulkVol
 						})
 					}
 				}
@@ -236,7 +289,9 @@ func Execute(book *pricing.Book, catalog *media.Catalog, s *schedule.Schedule) *
 			gamma := cc.Gamma(playback)
 			reserve := gamma * size
 			// Reserve at Load; begin linear drain at LastService; stop the
-			// drain (slope restored) at LastService + P.
+			// drain (slope restored) at LastService + P. A dead copy's
+			// remaining reservation is released at the instant of death and
+			// any in-progress drain slope cancelled.
 			schedAt(cc.Load, func(now simtime.Time) {
 				ns := &nodes[cc.Loc]
 				ns.advance(now)
@@ -250,44 +305,102 @@ func Execute(book *pricing.Book, catalog *media.Catalog, s *schedule.Schedule) *
 				rep.CacheLoads++
 			})
 			drainRate := reserve / playback.Seconds()
-			schedAt(cc.LastService, func(now simtime.Time) {
-				ns := &nodes[cc.Loc]
-				ns.advance(now)
-				ns.slope -= drainRate
-			})
-			schedAt(cc.LastService.Add(playback), func(now simtime.Time) {
-				ns := &nodes[cc.Loc]
-				ns.advance(now)
-				ns.slope += drainRate
-			})
+			drainStarted := cc.LastService < deadAt
+			if drainStarted {
+				schedAt(cc.LastService, func(now simtime.Time) {
+					ns := &nodes[cc.Loc]
+					ns.advance(now)
+					ns.slope -= drainRate
+				})
+			}
+			if !dead {
+				schedAt(cc.LastService.Add(playback), func(now simtime.Time) {
+					ns := &nodes[cc.Loc]
+					ns.advance(now)
+					ns.slope += drainRate
+				})
+			} else {
+				remaining := reserve
+				if drainStarted {
+					remaining -= drainRate * deadAt.Sub(cc.LastService).Seconds()
+				}
+				rel := remaining
+				schedAt(deadAt, func(now simtime.Time) {
+					ns := &nodes[cc.Loc]
+					ns.advance(now)
+					ns.level -= rel
+					if drainStarted {
+						ns.slope += drainRate
+					}
+				})
+			}
 			// Physical profile: the copy is written at the stream's data
 			// rate size/P over [Load, Load+P] and drained by the final
-			// reader over [LastService, LastService+P].
+			// reader over [LastService, LastService+P]. Death stops the
+			// writer and wipes whatever bytes are still on disk.
 			fillRate := size / playback.Seconds()
+			fillEnd := cc.Load.Add(playback)
+			if dead && deadAt < fillEnd {
+				fillEnd = deadAt
+			}
 			schedAt(cc.Load, func(now simtime.Time) {
 				ns := &nodes[cc.Loc]
 				ns.advance(now)
 				ns.physSlope += fillRate
 			})
-			schedAt(cc.Load.Add(playback), func(now simtime.Time) {
+			schedAt(fillEnd, func(now simtime.Time) {
 				ns := &nodes[cc.Loc]
 				ns.advance(now)
 				ns.physSlope -= fillRate
 			})
-			schedAt(cc.LastService, func(now simtime.Time) {
-				ns := &nodes[cc.Loc]
-				ns.advance(now)
-				ns.physSlope -= fillRate
-			})
-			schedAt(cc.LastService.Add(playback), func(now simtime.Time) {
-				ns := &nodes[cc.Loc]
-				ns.advance(now)
-				ns.physSlope += fillRate
-			})
+			if drainStarted {
+				schedAt(cc.LastService, func(now simtime.Time) {
+					ns := &nodes[cc.Loc]
+					ns.advance(now)
+					ns.physSlope -= fillRate
+				})
+			}
+			if !dead {
+				schedAt(cc.LastService.Add(playback), func(now simtime.Time) {
+					ns := &nodes[cc.Loc]
+					ns.advance(now)
+					ns.physSlope += fillRate
+				})
+			} else {
+				physLeft := fillRate * fillEnd.Sub(cc.Load).Seconds()
+				if drainStarted {
+					physLeft -= fillRate * deadAt.Sub(cc.LastService).Seconds()
+				}
+				wipe := physLeft
+				schedAt(deadAt, func(now simtime.Time) {
+					ns := &nodes[cc.Loc]
+					ns.advance(now)
+					ns.phys -= wipe
+					if drainStarted {
+						ns.physSlope += fillRate
+					}
+				})
+			}
 		}
 
-		for _, d := range fs.Deliveries {
+		for di, d := range fs.Deliveries {
 			dd := d
+			dimp := imp.Delivery(vid, di)
+			if dimp.Fate == faults.FateMissed {
+				// The service never starts: no stream, no network bytes.
+				rep.FaultNotes = append(rep.FaultNotes, fmt.Sprintf(
+					"missed: video %d delivery %d for user %d at %v: %s",
+					vid, di, dd.User, dd.Start, dimp.Cause))
+				continue
+			}
+			severed := dimp.Fate == faults.FateSevered
+			end := dd.Start.Add(playback)
+			if severed {
+				end = dimp.At
+				rep.FaultNotes = append(rep.FaultNotes, fmt.Sprintf(
+					"severed: video %d delivery %d for user %d at %v: %s",
+					vid, di, dd.User, dimp.At, dimp.Cause))
+			}
 			// Dynamic continuity check at stream start.
 			if dd.SourceResidency != schedule.NoResidency {
 				key := cacheKey{int(vid), dd.SourceResidency}
@@ -305,9 +418,14 @@ func Execute(book *pricing.Book, catalog *media.Catalog, s *schedule.Schedule) *
 				})
 			}
 			if endToEnd {
-				e2eNetwork += units.Money(float64(v.StreamBytes()) * float64(tableLazy().Rate(dd.Src(), dd.Dst())))
+				carried := float64(v.StreamBytes())
+				if severed {
+					carried = rate * end.Sub(dd.Start).Seconds()
+				}
+				e2eNetwork += units.Money(carried * float64(tableLazy().Rate(dd.Src(), dd.Dst())))
 			}
-			// Stream occupies each edge of its route for P at rate B.
+			// Stream occupies each edge of its route for P at rate B (up
+			// to the sever instant when a fault cuts it).
 			for h := 1; h < len(dd.Route); h++ {
 				ei, ok := topo.EdgeBetween(dd.Route[h-1], dd.Route[h])
 				if !ok {
@@ -326,11 +444,16 @@ func Execute(book *pricing.Book, catalog *media.Catalog, s *schedule.Schedule) *
 						ls.peakRate = ls.rate
 					}
 				})
-				schedAt(dd.Start.Add(playback), func(now simtime.Time) {
+				carried := rate * playback.Seconds()
+				if severed {
+					carried = rate * end.Sub(dd.Start).Seconds()
+				}
+				vol := carried
+				schedAt(end, func(now simtime.Time) {
 					ls := &links[edge]
 					ls.streams--
 					ls.rate -= rate
-					ls.bytes += rate * playback.Seconds()
+					ls.bytes += vol
 				})
 			}
 			rep.Streams++

@@ -8,11 +8,13 @@ import (
 	"github.com/vodsim/vsp/internal/bandwidth"
 	"github.com/vodsim/vsp/internal/billing"
 	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/faults"
 	"github.com/vodsim/vsp/internal/occupancy"
 	"github.com/vodsim/vsp/internal/online"
 	"github.com/vodsim/vsp/internal/optimal"
 	"github.com/vodsim/vsp/internal/placement"
 	"github.com/vodsim/vsp/internal/pricing"
+	"github.com/vodsim/vsp/internal/repair"
 	"github.com/vodsim/vsp/internal/routing"
 	"github.com/vodsim/vsp/internal/scheduler"
 	"github.com/vodsim/vsp/internal/vodsim"
@@ -117,6 +119,28 @@ func (s *System) Validate(sched *Schedule, reqs RequestSet) error {
 // per-link and per-node usage and an independently derived cost.
 func (s *System) Simulate(sched *Schedule) *SimReport {
 	return vodsim.Execute(s.fresh().Book(), s.catalog, sched)
+}
+
+// GenerateFaults synthesizes a seeded random fault scenario over the
+// system's topology.
+func (s *System) GenerateFaults(cfg FaultGenConfig) (*FaultScenario, error) {
+	return faults.Generate(s.topo, cfg)
+}
+
+// SimulateUnder executes a schedule while injecting the fault scenario:
+// copies at dead storages are wiped, streams over dead elements are
+// severed or never start, and the report carries the damage tally. A nil
+// or empty scenario reproduces Simulate exactly.
+func (s *System) SimulateUnder(sched *Schedule, sc *FaultScenario) *SimReport {
+	return vodsim.ExecuteScenario(s.fresh().Book(), s.catalog, sched, sc)
+}
+
+// Repair builds the failure-aware repaired schedule for sched under the
+// scenario: surviving services are kept, dead copies are truncated, and
+// every knocked-out future service is re-sourced through the cheapest
+// surviving option (alternate copy, re-route, or warehouse fallback).
+func (s *System) Repair(sched *Schedule, sc *FaultScenario, opts RepairOptions) (*RepairResult, error) {
+	return repair.Repair(s.fresh(), sched, sc, opts)
 }
 
 // UniformLinkCapacities caps every link at the same bandwidth, for use

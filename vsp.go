@@ -22,12 +22,14 @@ import (
 	"github.com/vodsim/vsp/internal/bandwidth"
 	"github.com/vodsim/vsp/internal/billing"
 	"github.com/vodsim/vsp/internal/experiment"
+	"github.com/vodsim/vsp/internal/faults"
 	"github.com/vodsim/vsp/internal/ivs"
 	"github.com/vodsim/vsp/internal/media"
 	"github.com/vodsim/vsp/internal/occupancy"
 	"github.com/vodsim/vsp/internal/online"
 	"github.com/vodsim/vsp/internal/placement"
 	"github.com/vodsim/vsp/internal/pricing"
+	"github.com/vodsim/vsp/internal/repair"
 	"github.com/vodsim/vsp/internal/schedule"
 	"github.com/vodsim/vsp/internal/scheduler"
 	"github.com/vodsim/vsp/internal/simtime"
@@ -117,6 +119,24 @@ type (
 	// AuditReport collects the findings of System.Audit.
 	AuditReport = audit.Report
 
+	// FaultScenario is a set of timed infrastructure failures to inject
+	// into a schedule execution.
+	FaultScenario = faults.Scenario
+	// Fault is one timed failure window (node outage, link down, or
+	// warehouse brown-out).
+	Fault = faults.Fault
+	// FaultKind enumerates the failure classes.
+	FaultKind = faults.Kind
+	// FaultGenConfig parameterizes random fault-scenario generation.
+	FaultGenConfig = faults.GenConfig
+	// RepairPolicy selects the failure-aware repair strategy.
+	RepairPolicy = repair.Policy
+	// RepairOptions configures System.Repair.
+	RepairOptions = repair.Options
+	// RepairResult reports a repair run: the repaired schedule, what was
+	// saved, what was lost, and the cost delta vs. the fault-free Ψ(S).
+	RepairResult = repair.Result
+
 	// Money is an amount in the charging system's currency.
 	Money = units.Money
 	// Bytes is a data size.
@@ -154,6 +174,19 @@ const (
 	CacheOnRoute       = ivs.CacheOnRoute
 	CacheAtDestination = ivs.CacheAtDestination
 	NoCaching          = ivs.NoCaching
+)
+
+// Fault kinds.
+const (
+	NodeOutage = faults.NodeOutage
+	LinkDown   = faults.LinkDown
+	VWBrownout = faults.VWBrownout
+)
+
+// Repair policies.
+const (
+	RepairReroute  = repair.Reroute
+	RepairVWDirect = repair.VWDirect
 )
 
 // Arrival processes.
