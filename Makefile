@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test vet bench race soak cover figures results examples clean
+.PHONY: all build test vet bench bench-json race soak cover figures results examples clean
 
 all: build vet test
 
@@ -30,6 +30,14 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Machine-readable scheduler benchmark record (ns/op, allocs/op for the
+# one-shot solver and the rolling-horizon incremental extension, plus
+# their speedup ratio). Committed as BENCH_scheduler.json.
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkSchedule$$|BenchmarkHorizonAdvance$$|BenchmarkFullResolve$$' \
+		-benchmem ./internal/scheduler ./internal/horizon \
+		| $(GO) run ./cmd/benchjson -out BENCH_scheduler.json
+
 # Regenerate every paper figure/table as text (see EXPERIMENTS.md).
 results: build
 	$(BIN)/vspexp -exp all -scale paper -repeats 3
@@ -49,6 +57,7 @@ examples:
 	$(GO) run ./examples/trace-replay
 	$(GO) run ./examples/replication
 	$(GO) run ./examples/fault-repair
+	$(GO) run ./examples/rolling-horizon
 
 clean:
 	rm -rf $(BIN) figures

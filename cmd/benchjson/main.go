@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON record, so benchmark history can be committed and
+// diffed (see the bench-json Makefile target, which writes
+// BENCH_scheduler.json).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson -out BENCH.json
+//
+// When both BenchmarkHorizonAdvance and BenchmarkFullResolve appear in the
+// input, the record also carries their ns/op ratio — the incremental
+// scheduler's speedup over re-solving the whole batch at every epoch.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the JSON document benchjson emits.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// HorizonSpeedup is BenchmarkFullResolve's ns/op over
+	// BenchmarkHorizonAdvance's: how much work the rolling-horizon
+	// incremental extension saves vs. a full re-solve per epoch.
+	HorizonSpeedup float64 `json:"horizon_speedup_vs_full_resolve,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *out)
+	}
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		b, ok, err := parseLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	var horizon, full float64
+	for _, b := range rep.Benchmarks {
+		switch b.Name {
+		case "BenchmarkHorizonAdvance":
+			horizon = b.NsPerOp
+		case "BenchmarkFullResolve":
+			full = b.NsPerOp
+		}
+	}
+	if horizon > 0 && full > 0 {
+		rep.HorizonSpeedup = full / horizon
+	}
+	return rep, nil
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   34   34567890 ns/op   123456 B/op   789 allocs/op
+//
+// Non-benchmark lines (package headers, PASS, ok ...) report ok=false.
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false, nil
+	}
+	name := fields[0]
+	// Strip the GOMAXPROCS suffix (BenchmarkX-8 -> BenchmarkX).
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if b.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Benchmark{}, false, fmt.Errorf("bad ns/op in %q: %w", line, err)
+			}
+		case "B/op":
+			if b.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Benchmark{}, false, fmt.Errorf("bad B/op in %q: %w", line, err)
+			}
+		case "allocs/op":
+			if b.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Benchmark{}, false, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+		}
+	}
+	return b, true, nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/vodsim/vsp/internal/horizon
+cpu: Example CPU
+BenchmarkHorizonAdvance-8             36          31018870 ns/op        14074702 B/op     135689 allocs/op
+BenchmarkFullResolve-8                 1        3638931633 ns/op       1604029008 B/op  15832805 allocs/op
+PASS
+ok      github.com/vodsim/vsp/internal/horizon  5.812s
+pkg: github.com/vodsim/vsp/internal/scheduler
+BenchmarkSchedule-8                    3         400123456 ns/op
+PASS
+ok      github.com/vodsim/vsp/internal/scheduler        2.101s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	adv := rep.Benchmarks[0]
+	if adv.Name != "BenchmarkHorizonAdvance" || adv.Iterations != 36 {
+		t.Fatalf("first benchmark: %+v", adv)
+	}
+	if adv.NsPerOp != 31018870 || adv.BytesPerOp != 14074702 || adv.AllocsPerOp != 135689 {
+		t.Fatalf("metrics: %+v", adv)
+	}
+	// BenchmarkSchedule ran without -benchmem: alloc fields stay zero.
+	sched := rep.Benchmarks[2]
+	if sched.Name != "BenchmarkSchedule" || sched.BytesPerOp != 0 || sched.AllocsPerOp != 0 {
+		t.Fatalf("schedule benchmark: %+v", sched)
+	}
+	want := 3638931633.0 / 31018870.0
+	if math.Abs(rep.HorizonSpeedup-want) > 1e-9 {
+		t.Fatalf("speedup = %v, want %v", rep.HorizonSpeedup, want)
+	}
+	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" {
+		t.Fatalf("environment fields missing: %+v", rep)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok  pkg 0.1s\n")); err == nil {
+		t.Fatal("input without benchmark lines must fail")
+	}
+}
+
+func TestParseLineMalformedCount(t *testing.T) {
+	if _, _, err := parseLine("BenchmarkX-8  notanint  12 ns/op"); err == nil {
+		t.Fatal("malformed iteration count must fail")
+	}
+}

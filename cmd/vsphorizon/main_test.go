@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/cli"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+func fixtures(t *testing.T) (topoP, catP, reqP string) {
+	t.Helper()
+	dir := t.TempDir()
+	topo := topology.Star(topology.GenConfig{Storages: 3, UsersPerStorage: 2, Capacity: 10 * units.GB})
+	cat, err := media.Uniform(4, units.GBf(2.5), 90*simtime.Minute, units.Mbps(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.Generate(topo, cat, workload.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoP = filepath.Join(dir, "topo.json")
+	f, err := os.Create(topoP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	catP = filepath.Join(dir, "catalog.json")
+	f, err = os.Create(catP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reqP = filepath.Join(dir, "requests.json")
+	if err := cli.SaveJSON(reqP, reqs); err != nil {
+		t.Fatal(err)
+	}
+	return topoP, catP, reqP
+}
+
+// Replay the generated trace through the rolling horizon with a small
+// epoch trigger and verify the committed schedule lands on disk serving
+// every reservation.
+func TestRunReplaysTrace(t *testing.T) {
+	topoP, catP, reqP := fixtures(t)
+	outP := filepath.Join(t.TempDir(), "plan.json")
+	o := options{
+		topoPath: topoP, catPath: catP, reqPath: reqP,
+		srate: 2, nrate: 400,
+		metricName: "space-per-cost", policyName: "cache-on-route",
+		leadHours:     2,
+		epochRequests: 2,
+		compare:       true,
+		outPath:       outP,
+		quiet:         true,
+	}
+	if err := run(o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var got schedule.Schedule
+	f, err := os.Open(outP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := cli.LoadTopology(topoP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := cli.LoadRequests(reqP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDeliveries() != len(reqs) {
+		t.Fatalf("committed plan has %d deliveries for %d reservations", got.NumDeliveries(), len(reqs))
+	}
+	cat, err := cli.LoadCatalog(catP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(topo, cat, reqs); err != nil {
+		t.Fatalf("committed plan invalid: %v", err)
+	}
+}
+
+func TestRunRequiresFlags(t *testing.T) {
+	if err := run(options{}); err == nil {
+		t.Fatal("missing-flag run must fail")
+	}
+}

@@ -1,0 +1,94 @@
+package horizon_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/experiment"
+	"github.com/vodsim/vsp/internal/horizon"
+	"github.com/vodsim/vsp/internal/scheduler"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+const benchEpochs = 10
+
+// benchRig is the 500-request workload the acceptance criterion names:
+// 10 storages × 5 users × 10 reservations each, replayed over 10 epochs.
+func benchRig(b *testing.B) *experiment.Rig {
+	b.Helper()
+	r, err := experiment.Build(experiment.Params{
+		Storages:        10,
+		UsersPerStorage: 5,
+		RequestsPerUser: 10,
+		Titles:          50,
+		Seed:            7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkHorizonAdvance replays the 500-request trace through 10
+// incremental epoch advances: each epoch submits the reservations starting
+// in its lookahead window and commits everything behind the new horizon,
+// so later epochs only re-plan a sliver of the schedule. Compare against
+// BenchmarkFullResolve, which re-runs the one-shot scheduler from scratch
+// at every epoch boundary — the only strategy the repo had before
+// internal/horizon.
+func BenchmarkHorizonAdvance(b *testing.B) {
+	r := benchRig(b)
+	reqs := append(workload.Set(nil), r.Requests...)
+	workload.SortChronological(reqs)
+	window := simtime.Duration(r.Params.WindowHours) * simtime.Hour
+	step := simtime.Duration(int64(window) / benchEpochs)
+	ctx := context.Background()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := horizon.New(r.Model, horizon.Config{})
+		next := 0
+		for k := 1; k <= benchEpochs; k++ {
+			h := simtime.Time(int64(step) * int64(k))
+			for next < len(reqs) && reqs[next].Start < h.Add(step) {
+				if _, err := svc.Submit(reqs[next].Start, reqs[next]); err != nil {
+					b.Fatal(err)
+				}
+				next++
+			}
+			if _, err := svc.Advance(ctx, h); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if next != len(reqs) {
+			b.Fatalf("replay bug: %d of %d submitted", next, len(reqs))
+		}
+	}
+}
+
+// BenchmarkFullResolve answers the same 10 epoch boundaries by re-solving
+// the whole accumulated batch from scratch each time — the quadratic
+// baseline the rolling horizon replaces.
+func BenchmarkFullResolve(b *testing.B) {
+	r := benchRig(b)
+	reqs := append(workload.Set(nil), r.Requests...)
+	workload.SortChronological(reqs)
+	window := simtime.Duration(r.Params.WindowHours) * simtime.Hour
+	step := simtime.Duration(int64(window) / benchEpochs)
+	ctx := context.Background()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := 0
+		for k := 1; k <= benchEpochs; k++ {
+			h := simtime.Time(int64(step) * int64(k))
+			for next < len(reqs) && reqs[next].Start < h.Add(step) {
+				next++
+			}
+			if _, err := scheduler.Schedule(ctx, r.Model, reqs[:next], scheduler.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

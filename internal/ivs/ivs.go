@@ -82,6 +82,22 @@ type Options struct {
 	// never pruned, never extended, and exempt from Banned (they are
 	// placed infrastructure, not a scheduling choice).
 	Seeds []schedule.Residency
+	// Frozen, when non-nil, is the immutable prefix of this file's
+	// schedule committed by earlier epochs of a rolling-horizon run (see
+	// internal/horizon). ScheduleFile starts from a deep copy of it:
+	// frozen deliveries are carried through untouched, and frozen
+	// residencies remain in the candidate pool as free cache-extension
+	// sources — their committed span is a sunk cost, so serving a new
+	// request from one is priced at the marginal ExtendCost plus the
+	// remaining transfer, exactly like any live copy. Frozen records are
+	// never pruned and never shrunk; new records are appended after the
+	// prefix so frozen records keep their indices. Mutually exclusive
+	// with Seeds (a committed prefix already carries its seeds).
+	Frozen *schedule.FileSchedule
+
+	// frozenRes is the number of leading residencies that belong to the
+	// frozen prefix, set internally by ScheduleFile.
+	frozenRes int
 }
 
 // moneyEps breaks cost ties deterministically: candidates within this
@@ -99,6 +115,23 @@ func ScheduleFile(m *cost.Model, video media.VideoID, reqs []workload.Request, o
 	workload.SortChronological(ordered)
 
 	fs := &schedule.FileSchedule{Video: video}
+	if opts.Frozen != nil {
+		if len(opts.Seeds) > 0 {
+			return nil, fmt.Errorf("ivs: Frozen and Seeds are mutually exclusive")
+		}
+		if opts.Frozen.Video != video {
+			return nil, fmt.Errorf("ivs: frozen prefix for video %d in schedule for video %d", opts.Frozen.Video, video)
+		}
+		pre := opts.Frozen.Clone()
+		fs.Deliveries = pre.Deliveries
+		fs.Residencies = pre.Residencies
+		opts.frozenRes = len(fs.Residencies)
+		if opts.Ledger != nil {
+			for j, c := range fs.Residencies {
+				opts.Ledger.Add(occupancy.Ref{Video: video, Index: j}, c)
+			}
+		}
+	}
 	for _, seed := range opts.Seeds {
 		if seed.Video != video {
 			return nil, fmt.Errorf("ivs: seed for video %d in schedule for video %d", seed.Video, video)
@@ -123,7 +156,7 @@ func ScheduleFile(m *cost.Model, video media.VideoID, reqs []workload.Request, o
 			return nil, err
 		}
 	}
-	prune(fs, video, opts.Ledger)
+	prune(fs, video, opts.Ledger, opts.frozenRes)
 	return fs, nil
 }
 
@@ -164,13 +197,17 @@ func serveOne(m *cost.Model, v media.Video, fs *schedule.FileSchedule, r workloa
 			continue // dynamic copies disabled
 		}
 		// Price first: the capacity and ban checks are the expensive
-		// part, and only candidates that would win need them.
-		candCost := m.ExtendCost(c, r.Start) + m.TransferCost(v.ID, c.Loc, dst)
+		// part, and only candidates that would win need them. A request
+		// falling inside the copy's committed span (possible when the
+		// copy is a frozen-prefix record from an earlier epoch) extends
+		// nothing and pays zero marginal storage.
+		newLast := simtime.Max(c.LastService, r.Start)
+		candCost := m.ExtendCost(c, newLast) + m.TransferCost(v.ID, c.Loc, dst)
 		if candCost >= bestCost-moneyEps {
 			continue
 		}
 		extended := c
-		extended.LastService = r.Start
+		extended.LastService = newLast
 		if violatesAny(extended, v.Playback, opts.Banned) {
 			continue
 		}
@@ -272,12 +309,15 @@ func violatesAny(c schedule.Residency, playback simtime.Duration, banned []occup
 // prune removes residencies that serve no deliveries, remapping the
 // surviving indices in Deliveries and the ledger. Pre-placed standing
 // copies survive even when unused: their cost is already committed and
-// the schedule must account for it truthfully.
-func prune(fs *schedule.FileSchedule, video media.VideoID, ledger *occupancy.Ledger) {
+// the schedule must account for it truthfully. The same goes for the
+// first frozen residencies of a rolling-horizon prefix: they are
+// committed history, not tentative options (and since they lead the
+// slice, keeping them preserves their indices).
+func prune(fs *schedule.FileSchedule, video media.VideoID, ledger *occupancy.Ledger, frozen int) {
 	remap := make([]int, len(fs.Residencies))
 	kept := fs.Residencies[:0]
 	for j := range fs.Residencies {
-		if len(fs.Residencies[j].Services) == 0 && fs.Residencies[j].FedBy != schedule.PrePlacedFeed {
+		if j >= frozen && len(fs.Residencies[j].Services) == 0 && fs.Residencies[j].FedBy != schedule.PrePlacedFeed {
 			remap[j] = -1
 			continue
 		}

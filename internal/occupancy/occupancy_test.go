@@ -416,6 +416,95 @@ func TestUpdateRemoveClone(t *testing.T) {
 	}
 }
 
+// A residency whose decay ends exactly when another loads must hand the
+// space over without an instant of double counting: SpaceAt is zero at
+// t >= LastService+P, so the boundary second belongs to the newcomer only.
+func TestBoundaryHandoffNoDoubleCount(t *testing.T) {
+	topo, cat := fixture(t)
+	l := NewLedger(topo, cat)
+	is1 := topology.NodeID(1)
+	// Copy 0: plateau [0,100], decay [100,200), gone at exactly 200.
+	// Copy 1: loads at exactly 200.
+	l.Add(Ref{0, 0}, res(0, is1, 0, 100))
+	l.Add(Ref{1, 0}, res(1, is1, 200, 400))
+	if got := l.SpaceAt(is1, 200); got != 1000 {
+		t.Errorf("boundary space = %g, want 1000 (old copy must be gone)", got)
+	}
+	if got := l.SpaceAt(is1, 199); math.Abs(got-10) > eps {
+		t.Errorf("t=199: %g, want 10 (decay tail only; newcomer not loaded yet)", got)
+	}
+	// Double counting at the handoff instant would read 2000 > 1500 and
+	// fabricate a phantom overflow.
+	if ovs := l.Overflows(is1); len(ovs) != 0 {
+		t.Errorf("phantom overflow at handoff boundary: %v", ovs)
+	}
+	if peak, _ := l.Peak(is1); peak != 1000 {
+		t.Errorf("peak = %g, want 1000", peak)
+	}
+}
+
+// SpaceAt's decay endpoint is exclusive: positive one second before the
+// support ends, exactly zero at the end.
+func TestBoundarySpaceAtSupportEnd(t *testing.T) {
+	_, cat := fixture(t)
+	c := res(0, 1, 0, 100) // support [0, 200)
+	v := cat.Video(0)
+	size, pb := v.Size.Float(), v.Playback
+	if got := c.SpaceAt(199, size, pb); got <= 0 {
+		t.Errorf("t=199 (inside decay): %g, want > 0", got)
+	}
+	if got := c.SpaceAt(200, size, pb); got != 0 {
+		t.Errorf("t=200 (support end): %g, want exactly 0", got)
+	}
+	if got := c.SpaceAt(100, size, pb); got != 1000 {
+		t.Errorf("t=100 (LastService): %g, want full plateau", got)
+	}
+}
+
+// CanFit across a handoff boundary: a full-size candidate loading exactly
+// when a registered copy's decay ends must fit — their profiles never
+// coexist, even for one instant.
+func TestBoundaryCanFitAtHandoff(t *testing.T) {
+	topo, cat := fixture(t)
+	l := NewLedger(topo, cat)
+	is1 := topology.NodeID(1)
+	l.Add(Ref{0, 0}, res(0, is1, 0, 100)) // support [0, 200)
+	// 1000 (candidate) + 1000 (copy 0, if double-counted at t=200) would
+	// exceed the 1500 capacity; the correct answer is 1000 <= 1500.
+	if !l.CanFit(res(1, is1, 200, 400)) {
+		t.Error("candidate loading at the exact support end must fit")
+	}
+	// One second earlier the decay tail (10 bytes) still fits within the
+	// 500-byte headroom...
+	if !l.CanFit(res(1, is1, 199, 399)) {
+		t.Error("candidate overlapping only the thin decay tail must fit")
+	}
+	// ...but overlapping the full plateau does not.
+	if l.CanFit(res(1, is1, 50, 250)) {
+		t.Error("candidate overlapping the plateau must not fit")
+	}
+}
+
+// OverflowSet's support test is half-open: a copy gone at exactly the
+// overflow's start instant is not a candidate victim.
+func TestBoundaryOverflowSetExcludesEndedSupport(t *testing.T) {
+	topo, cat := fixture(t)
+	l := NewLedger(topo, cat)
+	is1 := topology.NodeID(1)
+	l.Add(Ref{0, 0}, res(0, is1, 0, 100))   // support [0, 200)
+	l.Add(Ref{1, 0}, res(1, is1, 200, 400)) // support [200, 500)
+	refs := l.OverflowSet(is1, simtime.NewInterval(200, 250))
+	if len(refs) != 1 || refs[0] != (Ref{1, 0}) {
+		t.Errorf("OverflowSet = %v, want only the live copy", refs)
+	}
+	// An interval ending exactly at a support's start still includes it
+	// (endpoint-inclusive end, the degenerate-instant rule).
+	refs = l.OverflowSet(is1, simtime.NewInterval(150, 200))
+	if len(refs) != 2 {
+		t.Errorf("OverflowSet = %v, want both copies", refs)
+	}
+}
+
 func TestCrossingHorizontalSegment(t *testing.T) {
 	// A flat segment at the capacity level: crossing() degenerates to the
 	// left endpoint; exercised through Overflows with a plateau exactly at

@@ -186,7 +186,17 @@ func admit(m *cost.Model, caches []nodeCache, dst topology.NodeID, r workload.Re
 			return // everything pinned by readers; skip admission
 		}
 		sort.Slice(candidates, func(a, b int) bool {
-			return nc.copies[candidates[a]].lastUse < nc.copies[candidates[b]].lastUse
+			ca, cb := &nc.copies[candidates[a]], &nc.copies[candidates[b]]
+			if ca.lastUse != cb.lastUse {
+				return ca.lastUse < cb.lastUse
+			}
+			// lastUse ties (common with slotted arrivals) must break
+			// deterministically or the evicted title — and hence the run's
+			// cost — depends on sort.Slice's unspecified equal-key order.
+			if ca.loaded != cb.loaded {
+				return ca.loaded < cb.loaded
+			}
+			return ca.video < cb.video
 		})
 		evict(dst, candidates[0], r.Start)
 		res.Evictions++

@@ -155,6 +155,51 @@ func TestOnlineOversizedTitleSkipsAdmission(t *testing.T) {
 	}
 }
 
+func TestOnlineEvictionTieBreakDeterministic(t *testing.T) {
+	// Two copies with identical lastUse compete for eviction: the victim
+	// must be chosen by the documented rule (older load, then lower video
+	// ID), not by sort.Slice's unspecified equal-key order. Requests for
+	// titles 0 and 1 start at the same instant, so both cached copies
+	// carry the same lastUse when title 2's admission forces an eviction.
+	topo := topology.Star(topology.GenConfig{Storages: 1, UsersPerStorage: 4, Capacity: 5 * units.GB})
+	cat, err := media.Uniform(3, units.GBf(2.5), 90*simtime.Minute, units.Mbps(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := pricing.Uniform(topo, testutil.PerGBHour(1), pricing.PerGB(300))
+	model := cost.NewModel(book, routing.NewTable(book), cat)
+	users := topo.UsersAt(topo.Storages()[0])
+	h := simtime.Time(5 * simtime.Hour)
+	reqs := workload.Set{
+		{User: users[0], Video: 0, Start: 0},
+		{User: users[1], Video: 1, Start: 0}, // same lastUse as title 0
+		{User: users[2], Video: 2, Start: h}, // admission evicts exactly one
+		{User: users[3], Video: 1, Start: 2 * h},
+	}
+	first, err := Run(model, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", first.Evictions)
+	}
+	// The tie must fall on title 0 (equal load time, lower video ID), so
+	// title 1's copy survives and serves the final request locally.
+	if first.LocalHits != 1 {
+		t.Fatalf("local hits = %d, want 1 (title 1 must survive the tie)", first.LocalHits)
+	}
+	// And the whole outcome must be reproducible run over run.
+	for i := 0; i < 10; i++ {
+		again, err := Run(model, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *again != *first {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, again, first)
+		}
+	}
+}
+
 func TestOnlineInputValidation(t *testing.T) {
 	f, err := testutil.NewFig2()
 	if err != nil {

@@ -150,7 +150,7 @@ func Repair(m *cost.Model, s *schedule.Schedule, sc *faults.Scenario, opts Optio
 	res.Severed = imp.Severed
 	res.DeadCopies = imp.DeadResidencies
 
-	repaired, work := skeleton(s, imp)
+	repaired, work, deadAt := skeleton(s, imp)
 	res.Schedule = repaired
 
 	// Re-source the impacted services chronologically (ties by user then
@@ -169,7 +169,7 @@ func Repair(m *cost.Model, s *schedule.Schedule, sc *faults.Scenario, opts Optio
 	ledger := occupancy.FromSchedule(topo, m.Catalog(), repaired)
 	bans := sc.BannedPairs()
 	for _, r := range work {
-		if reason, ok := resource(m, repaired, ledger, bans, sc, r, opts, res); !ok {
+		if reason, ok := resource(m, repaired, ledger, bans, deadAt, sc, r, opts, res); !ok {
 			res.Missed = append(res.Missed, MissedService{
 				Video: r.Video, User: r.User, Start: r.Start, Reason: reason,
 			})
@@ -203,10 +203,14 @@ func summarize(m *cost.Model, res *Result) {
 
 // skeleton builds the surviving part of the schedule: missed deliveries
 // removed (they become the work list), dead residencies truncated to their
-// surviving readers or dropped, indices remapped.
-func skeleton(s *schedule.Schedule, imp *faults.Impact) (*schedule.Schedule, []workload.Request) {
+// surviving readers or dropped, indices remapped. The returned map records,
+// per surviving-but-dead copy (remapped ref), the instant its data is lost:
+// re-sourcing must not point any service starting at or after that instant
+// at the copy, since it holds only a prefix of the file from then on.
+func skeleton(s *schedule.Schedule, imp *faults.Impact) (*schedule.Schedule, []workload.Request, map[occupancy.Ref]simtime.Time) {
 	out := schedule.New()
 	var work []workload.Request
+	deadAt := make(map[occupancy.Ref]simtime.Time)
 	for _, vid := range s.VideoIDs() {
 		fs := s.Files[vid]
 		nf := &schedule.FileSchedule{Video: vid}
@@ -266,6 +270,9 @@ func skeleton(s *schedule.Schedule, imp *faults.Impact) (*schedule.Schedule, []w
 				c.FedBy = delMap[c.FedBy]
 			}
 			resMap[j] = len(nf.Residencies)
+			if ri.Dead {
+				deadAt[occupancy.Ref{Video: vid, Index: resMap[j]}] = ri.DeadAt
+			}
 			nf.Residencies = append(nf.Residencies, c)
 		}
 
@@ -279,7 +286,7 @@ func skeleton(s *schedule.Schedule, imp *faults.Impact) (*schedule.Schedule, []w
 			out.Put(nf)
 		}
 	}
-	return out, work
+	return out, work, deadAt
 }
 
 func lastOr(ri faults.ResidencyImpact, fallback simtime.Time) simtime.Time {
@@ -300,8 +307,8 @@ func min(a, b simtime.Time) simtime.Time {
 // option, mutating the repaired schedule and the ledger. It returns
 // (reason, false) when no option survives the scenario.
 func resource(m *cost.Model, repaired *schedule.Schedule, ledger *occupancy.Ledger,
-	bans []occupancy.Banned, sc *faults.Scenario, r workload.Request,
-	opts Options, res *Result) (string, bool) {
+	bans []occupancy.Banned, deadAt map[occupancy.Ref]simtime.Time, sc *faults.Scenario,
+	r workload.Request, opts Options, res *Result) (string, bool) {
 
 	topo := m.Book().Topology()
 	book := m.Book()
@@ -350,6 +357,9 @@ func resource(m *cost.Model, repaired *schedule.Schedule, ledger *occupancy.Ledg
 			}
 			if sc.NodeDown(c.Loc, window) {
 				continue // the source must stream for the whole playback
+			}
+			if at, dead := deadAt[occupancy.Ref{Video: r.Video, Index: j}]; dead && r.Start >= at {
+				continue // the copy holds only a prefix from its death on
 			}
 			var candCost units.Money
 			ext := c

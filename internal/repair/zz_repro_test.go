@@ -13,15 +13,6 @@ import (
 // (it has one surviving early reader), and resource() may pick it as the
 // cheapest source for a later impacted service even though the copy only
 // holds a prefix of the file.
-func TestReproCascadeDeadCopyReused(t *testing.T) {
-	tr := newTriangle(t, testutil_CentsPerMbit01(t))
-	_ = tr
-}
-
-func testutil_CentsPerMbit01(t *testing.T) pricingNRate { t.Helper(); return 0 }
-
-type pricingNRate = float64
-
 func TestCascadeDeadCopyAsRepairSource(t *testing.T) {
 	tr := newTriangle(t, 0.00001) // direct VW-IS2 rate irrelevant here
 	vid := tr.model.Catalog().Video(0)

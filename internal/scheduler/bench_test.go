@@ -1,0 +1,30 @@
+package scheduler_test
+
+import (
+	"testing"
+
+	"github.com/vodsim/vsp/internal/experiment"
+	"github.com/vodsim/vsp/internal/scheduler"
+)
+
+// BenchmarkSchedule measures the one-shot two-phase scheduler on a
+// mid-size rig (500 requests). This is the number BENCH_scheduler.json
+// tracks across PRs; keep the parameters stable.
+func BenchmarkSchedule(b *testing.B) {
+	r, err := experiment.Build(experiment.Params{
+		Storages:        10,
+		UsersPerStorage: 5,
+		RequestsPerUser: 10,
+		Titles:          50,
+		Seed:            7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheduler.Run(r.Model, r.Requests, scheduler.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"log"
 	"net/http"
 	"time"
+
+	"github.com/vodsim/vsp/internal/horizon"
 )
 
 // Options tunes the hardening middleware around the API handlers.
@@ -15,6 +17,10 @@ type Options struct {
 	// MaxRequestBytes caps request body size; larger bodies get 413.
 	// 0 means DefaultMaxRequestBytes.
 	MaxRequestBytes int64
+	// Horizon configures the rolling-horizon intake service behind
+	// /v1/reservations, /v1/plan and /v1/advance. The zero value is usable:
+	// no epoch trigger ever fires on its own and clients advance explicitly.
+	Horizon horizon.Config
 }
 
 const (

@@ -22,6 +22,7 @@ import (
 	"github.com/vodsim/vsp/internal/billing"
 	"github.com/vodsim/vsp/internal/cost"
 	"github.com/vodsim/vsp/internal/faults"
+	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/ivs"
 	"github.com/vodsim/vsp/internal/repair"
 	"github.com/vodsim/vsp/internal/schedule"
@@ -34,9 +35,11 @@ import (
 )
 
 // Server serves scheduling requests for one fixed infrastructure. It is
-// safe for concurrent use: the model is read-only after construction.
+// safe for concurrent use: the model is read-only after construction and
+// the rolling-horizon service does its own locking.
 type Server struct {
 	model   *cost.Model
+	horizon *horizon.Service
 	mux     *http.ServeMux
 	handler http.Handler
 }
@@ -46,7 +49,11 @@ func New(model *cost.Model) *Server { return NewWithOptions(model, Options{}) }
 
 // NewWithOptions builds a server with explicit hardening options.
 func NewWithOptions(model *cost.Model, opts Options) *Server {
-	s := &Server{model: model, mux: http.NewServeMux()}
+	s := &Server{
+		model:   model,
+		horizon: horizon.New(model, opts.Horizon),
+		mux:     http.NewServeMux(),
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/topology", s.handleTopology)
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
@@ -54,6 +61,9 @@ func NewWithOptions(model *cost.Model, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/bill", s.handleBill)
+	s.mux.HandleFunc("POST /v1/reservations", s.handleReservation)
+	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
 	s.handler = harden(s.mux, opts.withDefaults())
 	return s
 }

@@ -70,6 +70,13 @@ type Options struct {
 	// infrastructure the resolver can neither move nor strip, so they are
 	// never selected as victims.
 	Seeds map[media.VideoID][]schedule.Residency
+	// Frozen holds, per video, the immutable prefix committed by earlier
+	// epochs of a rolling-horizon run (see internal/horizon). A frozen
+	// prefix's records lead the file's slices; its residencies are never
+	// selected as victims, and rescheduling a file re-plans only its
+	// un-frozen requests on top of the prefix. The reqs map handed to
+	// Resolve must then hold only the un-frozen requests of each file.
+	Frozen map[media.VideoID]*schedule.FileSchedule
 }
 
 // Victim records one rescheduling decision, for diagnostics and the
@@ -116,8 +123,12 @@ func ResolveContext(ctx context.Context, m *cost.Model, s *schedule.Schedule, re
 	}
 	topo := m.Book().Topology()
 	for _, vid := range s.VideoIDs() {
-		if got, want := len(reqs[vid]), len(s.Files[vid].Deliveries); got != want {
-			return nil, fmt.Errorf("sorp: video %d has %d requests but %d scheduled deliveries", vid, got, want)
+		want := len(s.Files[vid].Deliveries)
+		if pre := opts.Frozen[vid]; pre != nil {
+			want -= len(pre.Deliveries)
+		}
+		if got := len(reqs[vid]); got != want {
+			return nil, fmt.Errorf("sorp: video %d has %d un-frozen requests but %d reschedulable deliveries", vid, got, want)
 		}
 	}
 	work := s.Clone()
@@ -193,6 +204,15 @@ func selectVictim(m *cost.Model, work *schedule.Schedule, ledger *occupancy.Ledg
 			if ci.FedBy == schedule.PrePlacedFeed {
 				continue // standing copies cannot be victimized
 			}
+			if pre := opts.Frozen[ref.Video]; pre != nil && ref.Index < len(pre.Residencies) &&
+				ci.LastService <= pre.Residencies[ref.Index].LastService {
+				// Committed history: the copy sits at its frozen span and
+				// rescheduling could not touch it. A frozen copy EXTENDED
+				// this epoch is a victim like any other — the extension is
+				// a live decision the rejective greedy can roll back (the
+				// committed span itself is re-installed untouched).
+				continue
+			}
 			rs, ok := cache[ref.Video]
 			if !ok {
 				rs = rescheduleFile(m, work, ledger, ref.Video, of, reqs[ref.Video], opts)
@@ -250,6 +270,7 @@ func rescheduleFile(m *cost.Model, work *schedule.Schedule, ledger *occupancy.Le
 		Ledger: tmp,
 		Banned: []occupancy.Banned{{Node: of.Node, Interval: of.Interval}},
 		Seeds:  opts.Seeds[vid],
+		Frozen: opts.Frozen[vid],
 	})
 	if err != nil {
 		return out // unreschedulable candidate; skip (ok=false)

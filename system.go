@@ -9,6 +9,7 @@ import (
 	"github.com/vodsim/vsp/internal/billing"
 	"github.com/vodsim/vsp/internal/cost"
 	"github.com/vodsim/vsp/internal/faults"
+	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/occupancy"
 	"github.com/vodsim/vsp/internal/online"
 	"github.com/vodsim/vsp/internal/optimal"
@@ -119,6 +120,15 @@ func (s *System) Validate(sched *Schedule, reqs RequestSet) error {
 // per-link and per-node usage and an independently derived cost.
 func (s *System) Simulate(sched *Schedule) *SimReport {
 	return vodsim.Execute(s.fresh().Book(), s.catalog, sched)
+}
+
+// OpenHorizon starts a rolling-horizon intake service over the system:
+// reservations stream in via Horizon.Submit, epochs close per the config's
+// triggers, and Horizon.Advance incrementally extends the committed
+// schedule. The horizon is pinned to the system's rates at open time;
+// later SetLinkRate/SetStorageRate calls do not affect it.
+func (s *System) OpenHorizon(cfg HorizonConfig) *Horizon {
+	return horizon.New(s.fresh(), cfg)
 }
 
 // GenerateFaults synthesizes a seeded random fault scenario over the

@@ -23,6 +23,7 @@ import (
 	"github.com/vodsim/vsp/internal/billing"
 	"github.com/vodsim/vsp/internal/experiment"
 	"github.com/vodsim/vsp/internal/faults"
+	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/ivs"
 	"github.com/vodsim/vsp/internal/media"
 	"github.com/vodsim/vsp/internal/occupancy"
@@ -119,6 +120,21 @@ type (
 	// AuditReport collects the findings of System.Audit.
 	AuditReport = audit.Report
 
+	// Horizon is a rolling-horizon intake service: it accepts a stream of
+	// reservations, groups them into epochs, and incrementally extends a
+	// committed schedule at each epoch boundary. Open one with
+	// System.OpenHorizon.
+	Horizon = horizon.Service
+	// HorizonConfig parameterizes a Horizon (caching policy, heat metric,
+	// epoch triggers, worker-pool width).
+	HorizonConfig = horizon.Config
+	// HorizonAck acknowledges one accepted reservation.
+	HorizonAck = horizon.Ack
+	// HorizonTrigger names the condition that closed an epoch.
+	HorizonTrigger = horizon.Trigger
+	// EpochResult reports one committed epoch of a Horizon.
+	EpochResult = horizon.EpochResult
+
 	// FaultScenario is a set of timed infrastructure failures to inject
 	// into a schedule execution.
 	FaultScenario = faults.Scenario
@@ -195,6 +211,17 @@ const (
 	EveningPeakArrival = workload.EveningPeak
 	SlottedArrival     = workload.Slotted
 )
+
+// Epoch triggers reported by Horizon.Submit.
+const (
+	TriggerRequests = horizon.TriggerRequests
+	TriggerBytes    = horizon.TriggerBytes
+	TriggerTick     = horizon.TriggerTick
+)
+
+// ErrLateArrival is returned by Horizon.Submit for a reservation whose
+// start time already lies inside the frozen window.
+var ErrLateArrival = horizon.ErrLateArrival
 
 // Convenient size, time and rate constructors.
 var (
