@@ -32,10 +32,14 @@ bench:
 
 # Machine-readable scheduler benchmark record (ns/op, allocs/op for the
 # one-shot solver and the rolling-horizon incremental extension, plus
-# their speedup ratio). Committed as BENCH_scheduler.json.
+# their speedup ratio). The second run exercises the parallel phase-1
+# fan-out at -cpu 1,4 so benchjson can derive phase1_parallel_speedup.
+# Committed as BENCH_scheduler.json.
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkSchedule$$|BenchmarkHorizonAdvance$$|BenchmarkFullResolve$$' \
-		-benchmem ./internal/scheduler ./internal/horizon \
+	( $(GO) test -run='^$$' -bench='BenchmarkSchedule$$|BenchmarkHorizonAdvance$$|BenchmarkFullResolve$$' \
+		-benchmem ./internal/scheduler ./internal/horizon ; \
+	  $(GO) test -run='^$$' -bench='BenchmarkSchedulePhase1$$' -cpu 1,4 \
+		-benchmem ./internal/scheduler ) \
 		| $(GO) run ./cmd/benchjson -out BENCH_scheduler.json
 
 # Regenerate every paper figure/table as text (see EXPERIMENTS.md).

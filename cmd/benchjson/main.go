@@ -31,6 +31,9 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// CPU is the GOMAXPROCS the benchmark ran with (the -N name suffix),
+	// so `-cpu 1,4` runs of the same benchmark stay distinguishable.
+	CPU int `json:"cpu,omitempty"`
 }
 
 // Report is the JSON document benchjson emits.
@@ -43,6 +46,11 @@ type Report struct {
 	// BenchmarkHorizonAdvance's: how much work the rolling-horizon
 	// incremental extension saves vs. a full re-solve per epoch.
 	HorizonSpeedup float64 `json:"horizon_speedup_vs_full_resolve,omitempty"`
+	// Phase1ParallelSpeedup is BenchmarkSchedulePhase1's ns/op at -cpu 1
+	// over its ns/op at the highest -cpu in the input: the wall-clock win
+	// of the parallel phase-1 fan-out. Meaningful only on multi-core
+	// machines — on a single hardware thread it hovers near 1.
+	Phase1ParallelSpeedup float64 `json:"phase1_parallel_speedup,omitempty"`
 }
 
 func main() {
@@ -97,16 +105,28 @@ func parse(r io.Reader) (*Report, error) {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
 	var horizon, full float64
+	var p1seq, p1par float64
+	maxCPU := 0
 	for _, b := range rep.Benchmarks {
 		switch b.Name {
 		case "BenchmarkHorizonAdvance":
 			horizon = b.NsPerOp
 		case "BenchmarkFullResolve":
 			full = b.NsPerOp
+		case "BenchmarkSchedulePhase1":
+			if b.CPU <= 1 {
+				p1seq = b.NsPerOp
+			} else if b.CPU > maxCPU {
+				maxCPU = b.CPU
+				p1par = b.NsPerOp
+			}
 		}
 	}
 	if horizon > 0 && full > 0 {
 		rep.HorizonSpeedup = full / horizon
+	}
+	if p1seq > 0 && p1par > 0 {
+		rep.Phase1ParallelSpeedup = p1seq / p1par
 	}
 	return rep, nil
 }
@@ -122,17 +142,20 @@ func parseLine(line string) (Benchmark, bool, error) {
 		return Benchmark{}, false, nil
 	}
 	name := fields[0]
-	// Strip the GOMAXPROCS suffix (BenchmarkX-8 -> BenchmarkX).
+	cpu := 0
+	// The GOMAXPROCS suffix (BenchmarkX-8) moves to the CPU field so that
+	// `-cpu 1,4` runs of one benchmark keep distinct records under a
+	// stable name.
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, cpu = name[:i], n
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Benchmark{}, false, fmt.Errorf("bad iteration count in %q: %w", line, err)
 	}
-	b := Benchmark{Name: name, Iterations: iters}
+	b := Benchmark{Name: name, Iterations: iters, CPU: cpu}
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, unit := fields[i], fields[i+1]
 		switch unit {

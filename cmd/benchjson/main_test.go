@@ -16,6 +16,8 @@ PASS
 ok      github.com/vodsim/vsp/internal/horizon  5.812s
 pkg: github.com/vodsim/vsp/internal/scheduler
 BenchmarkSchedule-8                    3         400123456 ns/op
+BenchmarkSchedulePhase1                5         100000000 ns/op
+BenchmarkSchedulePhase1-4             18          28000000 ns/op
 PASS
 ok      github.com/vodsim/vsp/internal/scheduler        2.101s
 `
@@ -25,11 +27,11 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
 	}
 	adv := rep.Benchmarks[0]
-	if adv.Name != "BenchmarkHorizonAdvance" || adv.Iterations != 36 {
+	if adv.Name != "BenchmarkHorizonAdvance" || adv.Iterations != 36 || adv.CPU != 8 {
 		t.Fatalf("first benchmark: %+v", adv)
 	}
 	if adv.NsPerOp != 31018870 || adv.BytesPerOp != 14074702 || adv.AllocsPerOp != 135689 {
@@ -40,9 +42,21 @@ func TestParse(t *testing.T) {
 	if sched.Name != "BenchmarkSchedule" || sched.BytesPerOp != 0 || sched.AllocsPerOp != 0 {
 		t.Fatalf("schedule benchmark: %+v", sched)
 	}
+	// A suffix-free line (GOMAXPROCS=1 run) parses with CPU 0; the -cpu 4
+	// run of the same benchmark keeps the same name with CPU 4.
+	p1 := rep.Benchmarks[3]
+	if p1.Name != "BenchmarkSchedulePhase1" || p1.CPU != 0 {
+		t.Fatalf("phase-1 sequential benchmark: %+v", p1)
+	}
+	if got := rep.Benchmarks[4]; got.Name != "BenchmarkSchedulePhase1" || got.CPU != 4 {
+		t.Fatalf("phase-1 parallel benchmark: %+v", got)
+	}
 	want := 3638931633.0 / 31018870.0
 	if math.Abs(rep.HorizonSpeedup-want) > 1e-9 {
 		t.Fatalf("speedup = %v, want %v", rep.HorizonSpeedup, want)
+	}
+	if wantP1 := 100000000.0 / 28000000.0; math.Abs(rep.Phase1ParallelSpeedup-wantP1) > 1e-9 {
+		t.Fatalf("phase-1 speedup = %v, want %v", rep.Phase1ParallelSpeedup, wantP1)
 	}
 	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" {
 		t.Fatalf("environment fields missing: %+v", rep)

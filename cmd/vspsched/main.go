@@ -33,9 +33,10 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the human-readable report")
 		analyze  = flag.Bool("analyze", false, "print cache-effectiveness analysis")
 		bill     = flag.Bool("bill", false, "print the per-reservation invoice")
+		workers  = flag.Int("workers", 0, "scheduling worker pool size (0 = GOMAXPROCS, 1 = sequential; output is identical for any value)")
 	)
 	flag.Parse()
-	if err := run(*topoPath, *catPath, *reqPath, *srate, *nrate, *metric, *policy, *outPath, *quiet, *analyze, *bill); err != nil {
+	if err := run(*topoPath, *catPath, *reqPath, *srate, *nrate, *metric, *policy, *outPath, *quiet, *analyze, *bill, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "vspsched:", err)
 		os.Exit(1)
 	}
@@ -59,7 +60,7 @@ func parsePolicy(s string) (ivs.Policy, error) {
 	return 0, fmt.Errorf("unknown caching policy %q", s)
 }
 
-func run(topoPath, catPath, reqPath string, srate, nrate float64, metricName, policyName, outPath string, quiet, analyze, bill bool) error {
+func run(topoPath, catPath, reqPath string, srate, nrate float64, metricName, policyName, outPath string, quiet, analyze, bill bool, workers int) error {
 	if topoPath == "" || catPath == "" || reqPath == "" {
 		return fmt.Errorf("-topo, -catalog and -requests are required")
 	}
@@ -84,7 +85,7 @@ func run(topoPath, catPath, reqPath string, srate, nrate float64, metricName, po
 		return err
 	}
 	model := cli.BuildModel(topo, cat, srate, nrate)
-	out, err := scheduler.Run(model, reqs, scheduler.Config{Metric: metric, Policy: policy})
+	out, err := scheduler.Run(model, reqs, scheduler.Config{Metric: metric, Policy: policy, Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -55,7 +55,7 @@ func fixtures(t *testing.T) (topoP, catP, reqP string) {
 func TestRunSchedulesAndSaves(t *testing.T) {
 	topoP, catP, reqP := fixtures(t)
 	outP := filepath.Join(t.TempDir(), "schedule.json")
-	if err := run(topoP, catP, reqP, 2, 400, "space-per-cost", "cache-on-route", outP, true, false, false); err != nil {
+	if err := run(topoP, catP, reqP, 2, 400, "space-per-cost", "cache-on-route", outP, true, false, false, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	sched, err := cli.LoadSchedule(outP)
@@ -69,23 +69,23 @@ func TestRunSchedulesAndSaves(t *testing.T) {
 
 func TestRunWithReportAndAnalysis(t *testing.T) {
 	topoP, catP, reqP := fixtures(t)
-	if err := run(topoP, catP, reqP, 2, 400, "period", "cache-at-destination", "", false, true, true); err != nil {
+	if err := run(topoP, catP, reqP, 2, 400, "period", "cache-at-destination", "", false, true, true, 2); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	topoP, catP, reqP := fixtures(t)
-	if err := run("", catP, reqP, 2, 400, "period", "cache-on-route", "", true, false, false); err == nil {
+	if err := run("", catP, reqP, 2, 400, "period", "cache-on-route", "", true, false, false, 0); err == nil {
 		t.Error("expected missing-flag error")
 	}
-	if err := run(topoP, catP, reqP, 2, 400, "bogus", "cache-on-route", "", true, false, false); err == nil {
+	if err := run(topoP, catP, reqP, 2, 400, "bogus", "cache-on-route", "", true, false, false, 0); err == nil {
 		t.Error("expected bad-metric error")
 	}
-	if err := run(topoP, catP, reqP, 2, 400, "period", "bogus", "", true, false, false); err == nil {
+	if err := run(topoP, catP, reqP, 2, 400, "period", "bogus", "", true, false, false, 0); err == nil {
 		t.Error("expected bad-policy error")
 	}
-	if err := run(filepath.Join(t.TempDir(), "none.json"), catP, reqP, 2, 400, "period", "cache-on-route", "", true, false, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "none.json"), catP, reqP, 2, 400, "period", "cache-on-route", "", true, false, false, 0); err == nil {
 		t.Error("expected load error")
 	}
 }

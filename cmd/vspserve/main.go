@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/vodsim/vsp/internal/cli"
+	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/server"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		idleTimeout = flag.Duration("idle-timeout", 120*time.Second, "keep-alive connection idle timeout")
 		reqTimeout  = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handling budget (503 when exceeded)")
+		workers     = flag.Int("workers", 0, "scheduling worker pool size per request (0 = GOMAXPROCS, 1 = sequential; schedules are identical for any value)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *catPath == "" {
@@ -58,7 +60,11 @@ func main() {
 	model := cli.BuildModel(topo, cat, *srate, *nrate)
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.NewWithOptions(model, server.Options{RequestTimeout: *reqTimeout}),
+		Handler: server.NewWithOptions(model, server.Options{
+			RequestTimeout: *reqTimeout,
+			Workers:        *workers,
+			Horizon:        horizon.Config{Workers: *workers},
+		}),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 120 * time.Second,
 		IdleTimeout:  *idleTimeout,

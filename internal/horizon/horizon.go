@@ -38,7 +38,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -46,6 +45,7 @@ import (
 	"github.com/vodsim/vsp/internal/ivs"
 	"github.com/vodsim/vsp/internal/media"
 	"github.com/vodsim/vsp/internal/occupancy"
+	"github.com/vodsim/vsp/internal/parallel"
 	"github.com/vodsim/vsp/internal/schedule"
 	"github.com/vodsim/vsp/internal/simtime"
 	"github.com/vodsim/vsp/internal/sorp"
@@ -76,8 +76,9 @@ type Config struct {
 	// EpochTick closes the epoch when the arrival clock has progressed this
 	// far since the last Advance.
 	EpochTick simtime.Duration
-	// Workers bounds the per-file IVS fan-out inside Advance; 0 means
-	// GOMAXPROCS.
+	// Workers bounds the per-file IVS fan-out and the SORP candidate
+	// evaluation inside Advance; 0 means GOMAXPROCS. The committed
+	// schedule is byte-identical for every worker count.
 	Workers int
 }
 
@@ -295,9 +296,10 @@ func (s *Service) Advance(ctx context.Context, to simtime.Time) (*EpochResult, e
 	res.Overflows = len(ledger.AllOverflows())
 	if res.Overflows > 0 {
 		rr, err := sorp.ResolveContext(ctx, s.m, next, reqs, sorp.Options{
-			Metric: s.cfg.Metric,
-			Policy: s.cfg.Policy,
-			Frozen: frozen,
+			Metric:  s.cfg.Metric,
+			Policy:  s.cfg.Policy,
+			Frozen:  frozen,
+			Workers: s.cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("horizon: epoch %d resolution: %w", s.epoch, err)
@@ -324,65 +326,32 @@ func (s *Service) Advance(ctx context.Context, to simtime.Time) (*EpochResult, e
 	return res, nil
 }
 
-// phase1 fans the per-file individual scheduling out over a bounded worker
-// pool. File schedules are independent in phase 1 (unbounded-storage
-// assumption, paper §3.2), so this is safe; results are assembled in video
-// order, keeping the outcome byte-identical to a sequential run.
+// phase1 fans the per-file individual scheduling out over the shared
+// bounded worker pool (internal/parallel). File schedules are independent
+// in phase 1 (unbounded-storage assumption, paper §3.2), so this is safe;
+// results are assembled in video order, keeping the outcome byte-identical
+// to a sequential run.
 func (s *Service) phase1(ctx context.Context, videos []media.VideoID,
 	reqs map[media.VideoID][]workload.Request, frozen map[media.VideoID]*schedule.FileSchedule) (*schedule.Schedule, error) {
 
-	type slot struct {
-		fs  *schedule.FileSchedule
-		err error
-	}
-	out := make([]slot, len(videos))
-	workers := s.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(videos) {
-		workers = len(videos)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				vid := videos[i]
-				fs, err := ivs.ScheduleFile(s.m, vid, reqs[vid], ivs.Options{
-					Policy: s.cfg.Policy,
-					Frozen: frozen[vid],
-				})
-				out[i] = slot{fs, err}
-			}
-		}()
-	}
-	aborted := false
-	for i := range videos {
-		if ctx.Err() != nil {
-			aborted = true
-			break
-		}
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	if aborted {
-		return nil, fmt.Errorf("horizon: epoch %d phase 1 aborted: %w", s.epoch, ctx.Err())
+	fss := make([]*schedule.FileSchedule, len(videos))
+	errs := make([]error, len(videos))
+	if err := parallel.Do(ctx, s.cfg.Workers, len(videos), func(i int) {
+		vid := videos[i]
+		fss[i], errs[i] = ivs.ScheduleFile(s.m, vid, reqs[vid], ivs.Options{
+			Policy: s.cfg.Policy,
+			Frozen: frozen[vid],
+		})
+	}); err != nil {
+		return nil, fmt.Errorf("horizon: epoch %d phase 1 aborted: %w", s.epoch, err)
 	}
 
 	next := schedule.New()
 	for i, vid := range videos {
-		if out[i].err != nil {
-			return nil, fmt.Errorf("horizon: epoch %d phase 1 for video %d: %w", s.epoch, vid, out[i].err)
+		if errs[i] != nil {
+			return nil, fmt.Errorf("horizon: epoch %d phase 1 for video %d: %w", s.epoch, vid, errs[i])
 		}
-		next.Put(out[i].fs)
+		next.Put(fss[i])
 	}
 	return next, nil
 }

@@ -2,7 +2,9 @@ package horizon_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -321,21 +323,38 @@ func TestEpochTriggers(t *testing.T) {
 // deterministic per file, so 1 worker and many workers must produce the
 // same committed schedule.
 func TestWorkerPoolDeterminism(t *testing.T) {
-	r := rig(t, smallParams())
-	run := func(workers int) *schedule.Schedule {
-		svc := horizon.New(r.Model, horizon.Config{Workers: workers})
-		for _, req := range r.Requests {
-			if _, err := svc.Submit(0, req); err != nil {
-				t.Fatal(err)
+	for _, seed := range []int64{5, 42, 99} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			p := smallParams()
+			p.Seed = seed
+			r := rig(t, p)
+			run := func(workers int) string {
+				svc := horizon.New(r.Model, horizon.Config{Workers: workers})
+				for _, req := range r.Requests {
+					if _, err := svc.Submit(0, req); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := svc.Advance(context.Background(), 0); err != nil {
+					t.Fatal(err)
+				}
+				blob, err := json.Marshal(svc.Committed())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(blob)
 			}
-		}
-		if _, err := svc.Advance(context.Background(), 0); err != nil {
-			t.Fatal(err)
-		}
-		return svc.Committed()
-	}
-	if !reflect.DeepEqual(run(1), run(8)) {
-		t.Fatal("committed schedule depends on worker count")
+			// Byte-identical, not merely structurally equal: both the
+			// phase-1 fan-out and the SORP candidate evaluation now run on
+			// the shared pool, and the committed schedule must not betray
+			// the worker count.
+			want := run(1)
+			for _, workers := range []int{0, 2, 8} {
+				if got := run(workers); got != want {
+					t.Errorf("Workers=%d committed schedule differs from sequential run", workers)
+				}
+			}
+		})
 	}
 }
 

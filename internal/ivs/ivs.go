@@ -104,6 +104,23 @@ type Options struct {
 // amount are considered equal and the earlier one wins.
 const moneyEps = 1e-9
 
+// copyKey identifies a residency by (node, load time) for duplicate
+// suppression: a new tentative copy with the identical key could never
+// improve on the existing one, since extension cost depends only on the
+// load time and the location. A node MAY hold several copies with
+// different load times: a fresh copy loaded by a later stream offers
+// cheaper short-residency extensions than an old copy whose span has
+// already grown long.
+//
+// The set is maintained incrementally by ScheduleFile — residencies are
+// only ever appended during the greedy, so membership never goes stale —
+// replacing a per-candidate linear scan over all residencies that made
+// ScheduleFile quadratic in request count on long-route topologies.
+type copyKey struct {
+	loc  topology.NodeID
+	load simtime.Time
+}
+
 // ScheduleFile computes the schedule S_i for one file's request set. The
 // requests must all name the given video; they are served in chronological
 // order (the paper numbers users by service start time). The returned
@@ -145,6 +162,10 @@ func ScheduleFile(m *cost.Model, video media.VideoID, reqs []workload.Request, o
 			opts.Ledger.Add(occupancy.Ref{Video: video, Index: len(fs.Residencies) - 1}, seed)
 		}
 	}
+	seen := make(map[copyKey]struct{}, len(fs.Residencies)+len(ordered))
+	for _, c := range fs.Residencies {
+		seen[copyKey{c.Loc, c.Load}] = struct{}{}
+	}
 	for _, r := range ordered {
 		if r.Video != video {
 			return nil, fmt.Errorf("ivs: request for video %d in batch for video %d", r.Video, video)
@@ -152,7 +173,7 @@ func ScheduleFile(m *cost.Model, video media.VideoID, reqs []workload.Request, o
 		if int(r.User) < 0 || int(r.User) >= topo.NumUsers() {
 			return nil, fmt.Errorf("ivs: unknown user %d", r.User)
 		}
-		if err := serveOne(m, v, fs, r, opts); err != nil {
+		if err := serveOne(m, v, fs, r, opts, seen); err != nil {
 			return nil, err
 		}
 	}
@@ -161,8 +182,9 @@ func ScheduleFile(m *cost.Model, video media.VideoID, reqs []workload.Request, o
 }
 
 // serveOne schedules request r given the partial schedule fs, choosing the
-// minimum-incremental-cost supply point (paper §3.2 steps 2–3).
-func serveOne(m *cost.Model, v media.Video, fs *schedule.FileSchedule, r workload.Request, opts Options) error {
+// minimum-incremental-cost supply point (paper §3.2 steps 2–3). seen is
+// the incremental (node, load) index of fs.Residencies.
+func serveOne(m *cost.Model, v media.Video, fs *schedule.FileSchedule, r workload.Request, opts Options, seen map[copyKey]struct{}) error {
 	topo := m.Book().Topology()
 	dst := topo.User(r.User).Local
 
@@ -243,14 +265,14 @@ func serveOne(m *cost.Model, v media.Video, fs *schedule.FileSchedule, r workloa
 		}
 	}
 
-	openTentative(m, v, fs, di, opts)
+	openTentative(m, v, fs, di, opts, seen)
 	return nil
 }
 
 // openTentative opens zero-span residencies along the new delivery's route
 // per the caching policy. Zero-span copies cost nothing and occupy nothing,
 // so they are free options for later requests; unused ones are pruned.
-func openTentative(m *cost.Model, v media.Video, fs *schedule.FileSchedule, di int, opts Options) {
+func openTentative(m *cost.Model, v media.Video, fs *schedule.FileSchedule, di int, opts Options, seen map[copyKey]struct{}) {
 	if opts.Policy == NoCaching {
 		return
 	}
@@ -266,35 +288,23 @@ func openTentative(m *cost.Model, v media.Video, fs *schedule.FileSchedule, di i
 		if topo.Node(node).Kind != topology.KindStorage {
 			continue
 		}
+		key := copyKey{node, d.Start}
+		if _, dup := seen[key]; dup {
+			continue
+		}
 		cand := schedule.Residency{
 			Video: v.ID, Loc: node, Src: d.Src(),
 			Load: d.Start, LastService: d.Start, FedBy: di,
-		}
-		if duplicateTentative(fs, cand) {
-			continue
 		}
 		if violatesAny(cand, v.Playback, opts.Banned) {
 			continue
 		}
 		fs.Residencies = append(fs.Residencies, cand)
+		seen[key] = struct{}{}
 		if opts.Ledger != nil {
 			opts.Ledger.Add(occupancy.Ref{Video: v.ID, Index: len(fs.Residencies) - 1}, cand)
 		}
 	}
-}
-
-// duplicateTentative reports whether a copy with the identical (node, load
-// time) already exists, which a new tentative copy could never improve on.
-// A node MAY hold several copies with different load times: a fresh copy
-// loaded by a later stream offers cheaper short-residency extensions than
-// an old copy whose span has already grown long.
-func duplicateTentative(fs *schedule.FileSchedule, cand schedule.Residency) bool {
-	for _, c := range fs.Residencies {
-		if c.Loc == cand.Loc && c.Load == cand.Load {
-			return true
-		}
-	}
-	return false
 }
 
 func violatesAny(c schedule.Residency, playback simtime.Duration, banned []occupancy.Banned) bool {

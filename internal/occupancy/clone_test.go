@@ -1,0 +1,122 @@
+package occupancy
+
+import (
+	"testing"
+
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+)
+
+// snapshot captures the observable state of a node: the occupancy at every
+// breakpoint, which pins both membership and spans.
+func snapshot(l *Ledger, node topology.NodeID) map[simtime.Time]float64 {
+	out := make(map[simtime.Time]float64)
+	for _, t := range l.breakpoints(node, nil) {
+		out[t] = l.SpaceAt(node, t)
+	}
+	return out
+}
+
+func equalSnapshots(a, b map[simtime.Time]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t, s := range a {
+		if bs, ok := b[t]; !ok || bs != s {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCloneCopyOnWrite drives every mutator against a clone and against the
+// source and checks the other side never observes the change — the
+// correctness contract the lazy Clone must preserve.
+func TestCloneCopyOnWrite(t *testing.T) {
+	topo, cat := fixture(t)
+	is1, is2 := topology.NodeID(1), topology.NodeID(2)
+
+	build := func() *Ledger {
+		l := NewLedger(topo, cat)
+		l.Add(Ref{0, 0}, res(0, is1, 0, 200))
+		l.Add(Ref{0, 1}, res(0, is2, 50, 150))
+		l.Add(Ref{1, 0}, res(1, is1, 100, 150))
+		return l
+	}
+
+	mutate := map[string]func(l *Ledger){
+		"add":          func(l *Ledger) { l.Add(Ref{1, 1}, res(1, is1, 300, 400)) },
+		"update":       func(l *Ledger) { l.Update(Ref{0, 0}, res(0, is1, 0, 500)) },
+		"relocate":     func(l *Ledger) { l.Update(Ref{0, 0}, res(0, is2, 0, 200)) },
+		"remove":       func(l *Ledger) { l.Remove(Ref{1, 0}) },
+		"remove-video": func(l *Ledger) { l.RemoveVideo(0) },
+	}
+
+	for name, fn := range mutate {
+		// Mutating the clone must not leak into the source.
+		src := build()
+		before1, before2 := snapshot(src, is1), snapshot(src, is2)
+		cl := src.Clone()
+		fn(cl)
+		if !equalSnapshots(snapshot(src, is1), before1) || !equalSnapshots(snapshot(src, is2), before2) {
+			t.Errorf("%s: clone mutation leaked into source", name)
+		}
+
+		// Mutating the source must not leak into the clone.
+		src = build()
+		cl = src.Clone()
+		want1, want2 := snapshot(cl, is1), snapshot(cl, is2)
+		fn(src)
+		if !equalSnapshots(snapshot(cl, is1), want1) || !equalSnapshots(snapshot(cl, is2), want2) {
+			t.Errorf("%s: source mutation leaked into clone", name)
+		}
+	}
+}
+
+// TestCloneOfClone checks independence through a chain of clones, the
+// shape the SORP loop produces when a winning candidate's ledger becomes
+// the next iteration's base.
+func TestCloneOfClone(t *testing.T) {
+	topo, cat := fixture(t)
+	is1 := topology.NodeID(1)
+	a := NewLedger(topo, cat)
+	a.Add(Ref{0, 0}, res(0, is1, 0, 200))
+
+	b := a.Clone()
+	c := b.Clone()
+	c.Add(Ref{1, 0}, res(1, is1, 100, 150))
+	b.RemoveVideo(0)
+
+	if got := a.NumEntries(is1); got != 1 {
+		t.Errorf("root ledger: %d entries, want 1", got)
+	}
+	if got := b.NumEntries(is1); got != 0 {
+		t.Errorf("middle clone: %d entries, want 0", got)
+	}
+	if got := c.NumEntries(is1); got != 2 {
+		t.Errorf("leaf clone: %d entries, want 2", got)
+	}
+}
+
+// BenchmarkLedgerClone measures the clone + single-video teardown pattern
+// of sorp.rescheduleFile: with copy-on-write this is O(nodes) plus copying
+// only the nodes that hold the victim.
+func BenchmarkLedgerClone(b *testing.B) {
+	topo, cat := fixture(b)
+	is1, is2 := topology.NodeID(1), topology.NodeID(2)
+	l := NewLedger(topo, cat)
+	for i := 0; i < 500; i++ {
+		node := is1
+		if i%2 == 0 {
+			node = is2
+		}
+		l.Add(Ref{Video: 0, Index: i}, res(0, node, simtime.Time(i), simtime.Time(i+50)))
+	}
+	l.Add(Ref{Video: 1, Index: 0}, res(1, is1, 0, 100))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmp := l.Clone()
+		tmp.RemoveVideo(1)
+	}
+}

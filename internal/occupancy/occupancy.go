@@ -56,6 +56,13 @@ type Ledger struct {
 	topo    *topology.Topology
 	catalog *media.Catalog
 	entries map[topology.NodeID][]entry
+	// shared marks node slices whose backing array is shared with another
+	// ledger (the other side of a Clone). A shared slice is never mutated
+	// in place: own() copies it first. This makes Clone O(nodes) instead
+	// of O(residencies) — the rejective greedy clones the full ledger for
+	// every candidate reschedule, so clone cost multiplies into the
+	// phase-2 inner loop.
+	shared map[topology.NodeID]bool
 }
 
 // NewLedger returns an empty ledger for the topology.
@@ -80,9 +87,23 @@ func FromSchedule(topo *topology.Topology, catalog *media.Catalog, s *schedule.S
 	return l
 }
 
+// own makes the node's slice safe to mutate: if its backing array is
+// shared with a clone, it is copied first.
+func (l *Ledger) own(node topology.NodeID) {
+	if !l.shared[node] {
+		return
+	}
+	es := l.entries[node]
+	cp := make([]entry, len(es))
+	copy(cp, es)
+	l.entries[node] = cp
+	delete(l.shared, node)
+}
+
 // Add registers a residency under the given reference.
 func (l *Ledger) Add(ref Ref, c schedule.Residency) {
 	v := l.catalog.Video(c.Video)
+	l.own(c.Loc)
 	l.entries[c.Loc] = append(l.entries[c.Loc], entry{
 		ref:      ref,
 		res:      c,
@@ -97,6 +118,8 @@ func (l *Ledger) Update(ref Ref, c schedule.Residency) bool {
 	for node, es := range l.entries {
 		for i := range es {
 			if es[i].ref == ref {
+				l.own(node)
+				es = l.entries[node]
 				if node == c.Loc {
 					v := l.catalog.Video(c.Video)
 					es[i].res = c
@@ -120,6 +143,8 @@ func (l *Ledger) Remove(ref Ref) bool {
 	for node, es := range l.entries {
 		for i := range es {
 			if es[i].ref == ref {
+				l.own(node)
+				es = l.entries[node]
 				l.entries[node] = append(es[:i], es[i+1:]...)
 				return true
 			}
@@ -131,20 +156,44 @@ func (l *Ledger) Remove(ref Ref) bool {
 // Clone returns an independent copy of the ledger. The rejective greedy
 // evaluates candidate reschedules against clones so rejected candidates
 // leave the real ledger untouched.
+//
+// The copy is lazy: the clone shares the per-node slices with the source
+// and both sides copy a slice only before first mutating it, so Clone
+// itself is O(nodes). Because Clone marks the source's slices shared too,
+// it counts as a mutation of the source: concurrent Clone calls on the
+// same ledger must be serialized by the caller (sorp clones sequentially
+// in its dispatch loop before fanning candidates out).
 func (l *Ledger) Clone() *Ledger {
 	out := NewLedger(l.topo, l.catalog)
+	out.shared = make(map[topology.NodeID]bool, len(l.entries))
+	if l.shared == nil {
+		l.shared = make(map[topology.NodeID]bool, len(l.entries))
+	}
 	for node, es := range l.entries {
-		cp := make([]entry, len(es))
-		copy(cp, es)
-		out.entries[node] = cp
+		out.entries[node] = es
+		out.shared[node] = true
+		l.shared[node] = true
 	}
 	return out
 }
 
 // RemoveVideo drops every residency of the given video from the ledger,
-// the first step of rescheduling a victim file.
+// the first step of rescheduling a victim file. Nodes holding no copy of
+// the video are left untouched (and, on a clone, un-copied).
 func (l *Ledger) RemoveVideo(vid media.VideoID) {
 	for node, es := range l.entries {
+		holds := false
+		for _, e := range es {
+			if e.ref.Video == vid {
+				holds = true
+				break
+			}
+		}
+		if !holds {
+			continue
+		}
+		l.own(node)
+		es = l.entries[node]
 		kept := es[:0]
 		for _, e := range es {
 			if e.ref.Video != vid {

@@ -17,7 +17,7 @@ const p = 100 * simtime.Second // playback length for test videos
 
 // fixture: VW - IS1 - IS2, two 1000-byte videos with P = 100 s,
 // IS capacities 1500 bytes.
-func fixture(t *testing.T) (*topology.Topology, *media.Catalog) {
+func fixture(t testing.TB) (*topology.Topology, *media.Catalog) {
 	t.Helper()
 	b := topology.NewBuilder()
 	vw := b.Warehouse("VW")

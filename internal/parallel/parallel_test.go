@@ -1,0 +1,67 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 100
+		seen := make([]int32, n)
+		if err := Do(context.Background(), workers, n, func(i int) {
+			atomic.AddInt32(&seen[i], 1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A 0-iteration loop performs no cancellation check.
+	if err := Do(ctx, 4, 0, func(int) { t.Fatal("fn called") }); err != nil {
+		t.Fatalf("expected nil for zero jobs, got %v", err)
+	}
+}
+
+func TestDoCancellationStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := Do(ctx, 1, 1000, func(i int) {
+		atomic.AddInt32(&ran, 1)
+		if i == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if n := atomic.LoadInt32(&ran); n >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch: %d jobs ran", n)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	cases := []struct{ workers, n, min, max int }{
+		{0, 100, 1, 1 << 20}, // GOMAXPROCS, whatever it is
+		{-3, 5, 1, 5},
+		{8, 3, 3, 3},
+		{2, 100, 2, 2},
+		{4, 0, 1, 1},
+	}
+	for _, c := range cases {
+		got := Workers(c.workers, c.n)
+		if got < c.min || got > c.max {
+			t.Errorf("Workers(%d, %d) = %d, want in [%d, %d]", c.workers, c.n, got, c.min, c.max)
+		}
+	}
+}

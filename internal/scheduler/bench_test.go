@@ -28,3 +28,29 @@ func BenchmarkSchedule(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSchedulePhase1 isolates the phase-1 per-file fan-out on the same
+// rig as BenchmarkSchedule. Workers is left at 0 (GOMAXPROCS), so running
+// it with `-cpu 1,4` compares the sequential path against a 4-worker pool
+// on identical input; benchjson turns the pair into phase1_parallel_speedup.
+// The output is byte-identical either way — only the wall clock moves, and
+// only when real hardware parallelism is available.
+func BenchmarkSchedulePhase1(b *testing.B) {
+	r, err := experiment.Build(experiment.Params{
+		Storages:        10,
+		UsersPerStorage: 5,
+		RequestsPerUser: 10,
+		Titles:          50,
+		Seed:            7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := scheduler.Config{SkipResolution: true, SkipValidation: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheduler.Run(r.Model, r.Requests, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/vodsim/vsp/internal/ivs"
 	"github.com/vodsim/vsp/internal/media"
 	"github.com/vodsim/vsp/internal/occupancy"
+	"github.com/vodsim/vsp/internal/parallel"
 	"github.com/vodsim/vsp/internal/schedule"
 	"github.com/vodsim/vsp/internal/sorp"
 	"github.com/vodsim/vsp/internal/units"
@@ -46,6 +47,12 @@ type Config struct {
 	// zero marginal storage cost, resolution treats them as immovable, and
 	// their committed cost appears in every reported total.
 	Seeds map[media.VideoID][]schedule.Residency
+	// Workers bounds the worker pool for phase-1 per-file scheduling and
+	// phase-2 candidate evaluation. Phase-1 results are merged in video-ID
+	// order and phase-2 victims are picked by a total order over the
+	// candidate set, so the produced schedule is byte-identical for every
+	// worker count. 0 means GOMAXPROCS, 1 forces the sequential path.
+	Workers int
 }
 
 // Outcome reports a full scheduling run.
@@ -78,22 +85,33 @@ func Run(m *cost.Model, reqs workload.Set, cfg Config) (*Outcome, error) {
 }
 
 // Schedule is Run with cancellation: the context is checked before every
-// phase-1 file, every phase-2 victim iteration, and every refinement pass,
-// so a cancelled or timed-out ctx aborts the run promptly with ctx.Err()
-// wrapped in the returned error. Work done so far is discarded — a partial
-// schedule is not a schedule.
+// phase-1 file dispatch, every phase-2 victim iteration, and every
+// refinement pass, so a cancelled or timed-out ctx aborts the run promptly
+// with ctx.Err() wrapped in the returned error. Work done so far is
+// discarded — a partial schedule is not a schedule.
+//
+// Phase 1 fans the per-file individual scheduling out over the bounded
+// worker pool selected by Config.Workers. File schedules are independent
+// in phase 1 (unbounded-storage assumption, paper §3.2), so this is safe;
+// results are merged in video-ID order, keeping the outcome byte-identical
+// to a sequential run.
 func Schedule(ctx context.Context, m *cost.Model, reqs workload.Set, cfg Config) (*Outcome, error) {
 	parts := reqs.ByVideo()
+	videos := reqs.Videos()
 	s := schedule.New()
-	for _, vid := range reqs.Videos() {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("scheduler: phase 1 aborted: %w", err)
+	fss := make([]*schedule.FileSchedule, len(videos))
+	errs := make([]error, len(videos))
+	if err := parallel.Do(ctx, cfg.Workers, len(videos), func(i int) {
+		fss[i], errs[i] = ivs.ScheduleFile(m, videos[i], parts[videos[i]],
+			ivs.Options{Policy: cfg.Policy, Seeds: cfg.Seeds[videos[i]]})
+	}); err != nil {
+		return nil, fmt.Errorf("scheduler: phase 1 aborted: %w", err)
+	}
+	for i, vid := range videos {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("scheduler: phase 1 for video %d: %w", vid, errs[i])
 		}
-		fs, err := ivs.ScheduleFile(m, vid, parts[vid], ivs.Options{Policy: cfg.Policy, Seeds: cfg.Seeds[vid]})
-		if err != nil {
-			return nil, fmt.Errorf("scheduler: phase 1 for video %d: %w", vid, err)
-		}
-		s.Put(fs)
+		s.Put(fss[i])
 	}
 	// Seeded videos nobody requested still occupy space and money; carry
 	// them so costs and occupancy stay truthful.
@@ -115,7 +133,8 @@ func Schedule(ctx context.Context, m *cost.Model, reqs workload.Set, cfg Config)
 	if cfg.SkipResolution || out.Overflows == 0 {
 		out.FinalCost = out.Phase1Cost
 	} else {
-		res, err := sorp.ResolveContext(ctx, m, s, parts, sorp.Options{Metric: cfg.Metric, Policy: cfg.Policy, Seeds: cfg.Seeds})
+		res, err := sorp.ResolveContext(ctx, m, s, parts, sorp.Options{
+			Metric: cfg.Metric, Policy: cfg.Policy, Seeds: cfg.Seeds, Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("scheduler: phase 2: %w", err)
 		}

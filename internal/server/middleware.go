@@ -21,6 +21,11 @@ type Options struct {
 	// /v1/reservations, /v1/plan and /v1/advance. The zero value is usable:
 	// no epoch trigger ever fires on its own and clients advance explicitly.
 	Horizon horizon.Config
+	// Workers bounds the scheduling worker pool used by /v1/schedule (the
+	// rolling-horizon endpoints take theirs from Horizon.Workers). The
+	// produced schedule is byte-identical for any value; 0 means GOMAXPROCS,
+	// 1 forces the sequential path.
+	Workers int
 }
 
 const (

@@ -40,6 +40,7 @@ import (
 type Server struct {
 	model   *cost.Model
 	horizon *horizon.Service
+	workers int
 	mux     *http.ServeMux
 	handler http.Handler
 }
@@ -52,6 +53,7 @@ func NewWithOptions(model *cost.Model, opts Options) *Server {
 	s := &Server{
 		model:   model,
 		horizon: horizon.New(model, opts.Horizon),
+		workers: opts.Workers,
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -174,12 +176,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	// Scheduling respects the request context, so an abandoned connection
 	// or a tripped http.TimeoutHandler stops the computation too.
-	out, err := scheduler.Schedule(r.Context(), s.model, req.Requests, scheduler.Config{Metric: metric, Policy: policy})
+	out, err := scheduler.Schedule(r.Context(), s.model, req.Requests, scheduler.Config{Metric: metric, Policy: policy, Workers: s.workers})
 	if err != nil {
 		writeErr(w, schedulingStatus(err), err)
 		return
 	}
-	direct, err := scheduler.Schedule(r.Context(), s.model, req.Requests, scheduler.Config{Policy: ivs.NoCaching})
+	direct, err := scheduler.Schedule(r.Context(), s.model, req.Requests, scheduler.Config{Policy: ivs.NoCaching, Workers: s.workers})
 	if err != nil {
 		writeErr(w, schedulingStatus(err), err)
 		return

@@ -18,6 +18,7 @@ import (
 	"github.com/vodsim/vsp/internal/ivs"
 	"github.com/vodsim/vsp/internal/media"
 	"github.com/vodsim/vsp/internal/occupancy"
+	"github.com/vodsim/vsp/internal/parallel"
 	"github.com/vodsim/vsp/internal/schedule"
 	"github.com/vodsim/vsp/internal/simtime"
 	"github.com/vodsim/vsp/internal/topology"
@@ -63,8 +64,17 @@ type Options struct {
 	// Policy is the caching policy handed to the rejective greedy.
 	Policy ivs.Policy
 	// MaxIterations bounds the resolution loop as a safety valve; 0 means
-	// a generous default proportional to the schedule size.
+	// a generous default proportional to the LIVE schedule size plus the
+	// reschedulable request total, re-evaluated every iteration (a bound
+	// frozen from the input schedule can trip on legitimately convergent
+	// runs, since rescheduling a victim may grow its residency count).
 	MaxIterations int
+	// Workers bounds the concurrent evaluation of candidate reschedules
+	// during victim selection: each candidate works on its own ledger
+	// clone, and the winner is picked by the same total order as a
+	// sequential run, so the victim sequence is byte-identical for any
+	// worker count. 0 means GOMAXPROCS, 1 forces the sequential path.
+	Workers int
 	// Seeds are the pre-placed standing copies per video (strategic
 	// replication). Rescheduling a victim re-seeds them: they are placed
 	// infrastructure the resolver can neither move nor strip, so they are
@@ -118,10 +128,8 @@ func ResolveContext(ctx context.Context, m *cost.Model, s *schedule.Schedule, re
 	if opts.Metric == 0 {
 		opts.Metric = SpacePerCost
 	}
-	if opts.MaxIterations == 0 {
-		opts.MaxIterations = 10 * (s.NumResidencies() + 1)
-	}
 	topo := m.Book().Topology()
+	nreq := 0
 	for _, vid := range s.VideoIDs() {
 		want := len(s.Files[vid].Deliveries)
 		if pre := opts.Frozen[vid]; pre != nil {
@@ -130,6 +138,7 @@ func ResolveContext(ctx context.Context, m *cost.Model, s *schedule.Schedule, re
 		if got := len(reqs[vid]); got != want {
 			return nil, fmt.Errorf("sorp: video %d has %d un-frozen requests but %d reschedulable deliveries", vid, got, want)
 		}
+		nreq += len(reqs[vid])
 	}
 	work := s.Clone()
 	ledger := occupancy.FromSchedule(topo, m.Catalog(), work)
@@ -148,11 +157,11 @@ func ResolveContext(ctx context.Context, m *cost.Model, s *schedule.Schedule, re
 		if len(overflows) == 0 {
 			break
 		}
-		if iter >= opts.MaxIterations {
+		if iter >= iterationBound(opts.MaxIterations, work, nreq) {
 			return nil, fmt.Errorf("sorp: no resolution after %d iterations (%d overflows remain)",
 				iter, len(overflows))
 		}
-		best, found, err := selectVictim(m, work, ledger, overflows, reqs, opts)
+		best, found, err := selectVictim(ctx, m, work, ledger, overflows, reqs, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -177,47 +186,108 @@ type candidate struct {
 	overhead units.Money
 }
 
+// iterationBound returns the safety valve for the resolution loop. An
+// explicit Options.MaxIterations always wins; the default is proportional
+// to the live schedule plus the reschedulable request total. It must be
+// re-evaluated against the LIVE schedule each iteration: rescheduling a
+// victim may legitimately grow its residency count (the rejective greedy
+// spreads copies across storages the banned one can't hold), so a bound
+// frozen from the input schedule's residency count can trip on convergent
+// runs.
+func iterationBound(configured int, work *schedule.Schedule, nreq int) int {
+	if configured > 0 {
+		return configured
+	}
+	return 10 * (work.NumResidencies() + nreq + 1)
+}
+
+// liveVictim resolves an overflow ref against the working schedule and
+// reports whether the residency is victimizable.
+func liveVictim(work *schedule.Schedule, opts Options, ref occupancy.Ref) (schedule.Residency, bool, error) {
+	fs := work.File(ref.Video)
+	if fs == nil || ref.Index >= len(fs.Residencies) {
+		return schedule.Residency{}, false, fmt.Errorf("sorp: dangling overflow ref %+v", ref)
+	}
+	ci := fs.Residencies[ref.Index]
+	if ci.FedBy == schedule.PrePlacedFeed {
+		return ci, false, nil // standing copies cannot be victimized
+	}
+	if pre := opts.Frozen[ref.Video]; pre != nil && ref.Index < len(pre.Residencies) &&
+		ci.LastService <= pre.Residencies[ref.Index].LastService {
+		// Committed history: the copy sits at its frozen span and
+		// rescheduling could not touch it. A frozen copy EXTENDED
+		// this epoch is a victim like any other — the extension is
+		// a live decision the rejective greedy can roll back (the
+		// committed span itself is re-installed untouched).
+		return ci, false, nil
+	}
+	return ci, true, nil
+}
+
 // selectVictim evaluates rescheduling every file involved in every current
 // overflow and returns the candidate with the largest heat (paper Table 3,
 // lines 8–18). Heat ties break toward lower overhead, then lower video ID,
 // for determinism.
-func selectVictim(m *cost.Model, work *schedule.Schedule, ledger *occupancy.Ledger,
+//
+// Rescheduling operates on whole files; each involved residency c_i is
+// evaluated for its heat but the expensive reschedule is deduped by
+// (overflow, video) — the paper's loop is per c_i, yet for a given pair
+// the reschedule result is identical and only the improvement term
+// differs. The deduped reschedules are independent — each works on its own
+// ledger clone — so they are evaluated across the worker pool; the clones
+// are taken sequentially up front (Ledger.Clone is a mutation of the
+// source's sharing state) and the winner is then picked by a sequential
+// walk in overflow/ref order with the better() total order, which makes
+// the selected victim independent of worker count and completion order.
+func selectVictim(ctx context.Context, m *cost.Model, work *schedule.Schedule, ledger *occupancy.Ledger,
 	overflows []occupancy.Overflow, reqs map[media.VideoID][]workload.Request, opts Options) (candidate, bool, error) {
+
+	type reschedJob struct {
+		overflow int
+		video    media.VideoID
+		tmp      *occupancy.Ledger
+		result   reschedResult
+	}
+	var jobs []reschedJob
+	jobOf := make([]map[media.VideoID]int, len(overflows))
+	refsOf := make([][]occupancy.Ref, len(overflows))
+	for oi, of := range overflows {
+		refs := ledger.OverflowSet(of.Node, of.Interval)
+		refsOf[oi] = refs
+		jobOf[oi] = make(map[media.VideoID]int, len(refs))
+		for _, ref := range refs {
+			if _, live, err := liveVictim(work, opts, ref); err != nil {
+				return candidate{}, false, err
+			} else if !live {
+				continue
+			}
+			if _, dup := jobOf[oi][ref.Video]; dup {
+				continue
+			}
+			jobOf[oi][ref.Video] = len(jobs)
+			jobs = append(jobs, reschedJob{overflow: oi, video: ref.Video, tmp: ledger.Clone()})
+		}
+	}
+
+	if err := parallel.Do(ctx, opts.Workers, len(jobs), func(i int) {
+		j := &jobs[i]
+		j.result = rescheduleFile(m, work, j.tmp, j.video, overflows[j.overflow], reqs[j.video], opts)
+	}); err != nil {
+		return candidate{}, false, fmt.Errorf("sorp: victim selection aborted: %w", err)
+	}
 
 	var best candidate
 	found := false
-	for _, of := range overflows {
-		refs := ledger.OverflowSet(of.Node, of.Interval)
-		// Rescheduling operates on whole files; evaluate each involved
-		// residency c_i for its heat but reschedule per file, so dedupe
-		// the expensive reschedule by video while keeping per-residency
-		// heat evaluation (the paper's loop is per c_i; for a given
-		// (video, overflow) the reschedule result is identical and only
-		// the improvement term differs).
-		cache := make(map[media.VideoID]reschedResult)
-		for _, ref := range refs {
-			fs := work.File(ref.Video)
-			if fs == nil || ref.Index >= len(fs.Residencies) {
-				return candidate{}, false, fmt.Errorf("sorp: dangling overflow ref %+v", ref)
+	for oi, of := range overflows {
+		for _, ref := range refsOf[oi] {
+			ci, live, err := liveVictim(work, opts, ref)
+			if err != nil {
+				return candidate{}, false, err
 			}
-			ci := fs.Residencies[ref.Index]
-			if ci.FedBy == schedule.PrePlacedFeed {
-				continue // standing copies cannot be victimized
-			}
-			if pre := opts.Frozen[ref.Video]; pre != nil && ref.Index < len(pre.Residencies) &&
-				ci.LastService <= pre.Residencies[ref.Index].LastService {
-				// Committed history: the copy sits at its frozen span and
-				// rescheduling could not touch it. A frozen copy EXTENDED
-				// this epoch is a victim like any other — the extension is
-				// a live decision the rejective greedy can roll back (the
-				// committed span itself is re-installed untouched).
+			if !live {
 				continue
 			}
-			rs, ok := cache[ref.Video]
-			if !ok {
-				rs = rescheduleFile(m, work, ledger, ref.Video, of, reqs[ref.Video], opts)
-				cache[ref.Video] = rs
-			}
+			rs := jobs[jobOf[oi][ref.Video]].result
 			if !rs.ok {
 				continue
 			}
@@ -261,9 +331,12 @@ type reschedResult struct {
 	ok       bool
 }
 
-func rescheduleFile(m *cost.Model, work *schedule.Schedule, ledger *occupancy.Ledger,
+// rescheduleFile re-plans one victim file on the pre-cloned ledger tmp,
+// which the caller obtained with Ledger.Clone (cloning is left to the
+// caller so the concurrent evaluation path can take its clones
+// sequentially before fanning out).
+func rescheduleFile(m *cost.Model, work *schedule.Schedule, tmp *occupancy.Ledger,
 	vid media.VideoID, of occupancy.Overflow, rs []workload.Request, opts Options) (out reschedResult) {
-	tmp := ledger.Clone()
 	tmp.RemoveVideo(vid)
 	fs, err := ivs.ScheduleFile(m, vid, rs, ivs.Options{
 		Policy: opts.Policy,
@@ -285,7 +358,11 @@ func rescheduleFile(m *cost.Model, work *schedule.Schedule, ledger *occupancy.Le
 // computeHeat evaluates the selected metric for rescheduling the residency
 // c_i with respect to the overflow (paper Eqs. 8–11). For the per-cost
 // metrics, a non-positive overhead means rescheduling improves the overflow
-// AND saves money; such candidates are infinitely hot.
+// AND saves money; such candidates are infinitely hot — but only when they
+// improve anything at all: a candidate whose improved window is empty
+// (X = 0, so ΔS = 0 too) is clamped to heat 0 regardless of overhead, or a
+// free-but-useless reschedule would outrank genuine victims and burn
+// resolution iterations without shrinking the overflow.
 func computeHeat(m *cost.Model, ci schedule.Residency, of occupancy.Overflow,
 	overhead units.Money, metric HeatMetric) float64 {
 
@@ -303,6 +380,9 @@ func computeHeat(m *cost.Model, ci schedule.Residency, of occupancy.Overflow,
 		improvement = x
 	default:
 		improvement = ci.SpaceIntegral(simtime.NewInterval(lo, hi), v.Size.Float(), v.Playback)
+	}
+	if improvement <= 0 {
+		return 0
 	}
 	switch metric {
 	case Period, Space:

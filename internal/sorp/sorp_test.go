@@ -237,6 +237,104 @@ func TestComputeHeatMetrics(t *testing.T) {
 	}
 }
 
+// TestComputeHeatZeroImprovementNotInfinite is the regression test for the
+// free-but-useless candidate bug: a residency whose improved window is
+// disjoint from the overflow (X = 0, ΔS = 0) combined with a non-positive
+// overhead used to hit the 0/overhead branch of the per-cost metrics and
+// come back +Inf — outranking every genuine victim while shrinking nothing.
+// Zero improvement must clamp heat to 0 for every metric and any overhead.
+func TestComputeHeatZeroImprovementNotInfinite(t *testing.T) {
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Model
+	P := m.Catalog().Video(0).Playback
+	ci := schedule.Residency{
+		Video: 0, Loc: f.IS1, Src: f.VW,
+		Load: 0, LastService: simtime.Time(2 * P),
+	}
+	// Overflow window entirely after the residency's presence: improvement 0.
+	far := occupancy.Overflow{
+		Node:     f.IS1,
+		Interval: simtime.NewInterval(simtime.Time(10*P), simtime.Time(11*P)),
+	}
+	for _, metric := range []HeatMetric{Period, PeriodPerCost, Space, SpacePerCost} {
+		for _, overhead := range []units.Money{-5, 0, 10} {
+			h := computeHeat(m, ci, far, overhead, metric)
+			if h != 0 {
+				t.Errorf("%v heat with overhead %v = %g, want 0 (zero improvement)",
+					metric, overhead, h)
+			}
+		}
+	}
+}
+
+// TestIterationBoundTracksLiveSchedule is the regression test for the
+// frozen-bound bug: the default safety valve used to be computed once from
+// the INPUT schedule's residency count, but rescheduling a victim may grow
+// residencies (the rejective greedy spreads copies across storages), so a
+// legitimately convergent run could trip the stale bound. The default must
+// follow the live schedule and the request total.
+func TestIterationBoundTracksLiveSchedule(t *testing.T) {
+	m, _, reqs := tightRig(t)
+	s := phase1(t, m, reqs)
+	nreq := len(reqs)
+
+	// An explicit cap always wins, regardless of schedule size.
+	if got := iterationBound(7, s, nreq); got != 7 {
+		t.Errorf("configured bound = %d, want 7", got)
+	}
+	before := iterationBound(0, s, nreq)
+	if want := 10 * (s.NumResidencies() + nreq + 1); before != want {
+		t.Errorf("default bound = %d, want %d", before, want)
+	}
+
+	// Grow the live schedule the way a reschedule does and the default
+	// bound must grow with it.
+	grown := s.Clone()
+	fs := grown.File(0)
+	fs.Residencies = append(fs.Residencies, schedule.Residency{
+		Video: 0, Loc: fs.Residencies[0].Loc, Src: fs.Residencies[0].Src,
+		Load: simtime.Time(20 * simtime.Hour), LastService: simtime.Time(21 * simtime.Hour),
+	})
+	after := iterationBound(0, grown, nreq)
+	if after <= before {
+		t.Errorf("default bound did not track live schedule: %d -> %d", before, after)
+	}
+}
+
+// TestResolveDefaultBoundSurvivesResidencyGrowth runs resolution with the
+// default (unset) MaxIterations on rigs tight enough that victims get
+// re-spread into more residencies than phase 1 produced; the run must
+// converge, not trip the safety valve.
+func TestResolveDefaultBoundSurvivesResidencyGrowth(t *testing.T) {
+	rig, err := testutil.NewPaperRig(6, 8, 12, 4*units.GB, pricing.PerGBSec(5), pricing.PerGB(500), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.Generate(rig.Topo, rig.Catalog, workload.Config{Alpha: 0.1, Window: 6 * simtime.Hour, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.New()
+	for vid, rs := range reqs.ByVideo() {
+		fs, err := ivs.ScheduleFile(rig.Model, vid, rs, ivs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Put(fs)
+	}
+	res, err := Resolve(rig.Model, s, reqs.ByVideo(), Options{})
+	if err != nil {
+		t.Fatalf("Resolve with default bound: %v", err)
+	}
+	ledger := occupancy.FromSchedule(rig.Topo, rig.Catalog, res.Schedule)
+	if ovs := ledger.AllOverflows(); len(ovs) != 0 {
+		t.Fatalf("%d overflows remain", len(ovs))
+	}
+}
+
 func TestHeatMetricString(t *testing.T) {
 	names := map[HeatMetric]string{
 		Period: "period", PeriodPerCost: "period-per-cost",
