@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test vet bench bench-json race soak cover figures results examples clean
+.PHONY: all build test vet bench bench-json race soak cover fuzz figures results examples clean
 
 all: build vet test
 
@@ -23,6 +23,12 @@ race:
 
 soak:
 	$(GO) test -tags soak -run TestSoak -v .
+
+# Short fuzz passes over the parsers that face untrusted bytes: the WAL
+# decoder (crash/corruption trichotomy) and the schedule API decoder.
+fuzz:
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s ./internal/wal
+	$(GO) test -fuzz=FuzzScheduleDecode -fuzztime=10s ./internal/server
 
 cover:
 	$(GO) test -cover ./internal/... .

@@ -2,9 +2,16 @@
 // HTTP for a fixed infrastructure. It shuts down gracefully on SIGINT or
 // SIGTERM, draining in-flight requests for up to 10 seconds.
 //
+// With -data-dir the rolling-horizon reservation intake is durable: every
+// accepted reservation and committed epoch is journaled to a write-ahead
+// log (fsync policy per -fsync) and compacted into snapshots, and a
+// restart recovers the committed schedule — re-verified by the audit
+// bundle — instead of losing it.
+//
 // Usage:
 //
-//	vspserve -topo topo.json -catalog catalog.json -srate 5 -nrate 500 -addr :8080
+//	vspserve -topo topo.json -catalog catalog.json -srate 5 -nrate 500 \
+//	         -addr :8080 -data-dir /var/lib/vsp -fsync always
 //
 // then:
 //
@@ -28,6 +35,7 @@ import (
 	"github.com/vodsim/vsp/internal/cli"
 	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/server"
+	"github.com/vodsim/vsp/internal/wal"
 )
 
 // drainTimeout bounds how long shutdown waits for in-flight requests.
@@ -43,11 +51,20 @@ func main() {
 		idleTimeout = flag.Duration("idle-timeout", 120*time.Second, "keep-alive connection idle timeout")
 		reqTimeout  = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handling budget (503 when exceeded)")
 		workers     = flag.Int("workers", 0, "scheduling worker pool size per request (0 = GOMAXPROCS, 1 = sequential; schedules are identical for any value)")
+		dataDir     = flag.String("data-dir", "", "durable state directory for the reservation intake (empty = in-memory, state lost on restart)")
+		fsync       = flag.String("fsync", "always", "journal fsync policy: always (no acknowledged reservation ever lost), interval, or never")
+		fsyncEvery  = flag.Duration("fsync-interval", wal.DefaultSyncEvery, "max sync lag under -fsync interval")
+		snapEvery   = flag.Int("snapshot-every", horizon.DefaultSnapshotEvery, "journal compaction period in committed epochs (negative disables snapshots)")
+		maxInFlight = flag.Int("max-in-flight", server.DefaultMaxInFlight, "admission-control bound on concurrent requests; excess load is shed with 429 + Retry-After (negative disables)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *catPath == "" {
 		fmt.Fprintln(os.Stderr, "vspserve: -topo and -catalog are required")
 		os.Exit(1)
+	}
+	fsyncPolicy, err := wal.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		log.Fatalf("vspserve: %v", err)
 	}
 	topo, err := cli.LoadTopology(*topoPath)
 	if err != nil {
@@ -58,13 +75,32 @@ func main() {
 		log.Fatalf("vspserve: %v", err)
 	}
 	model := cli.BuildModel(topo, cat, *srate, *nrate)
+	api, err := server.NewWithOptions(model, server.Options{
+		RequestTimeout: *reqTimeout,
+		Workers:        *workers,
+		DataDir:        *dataDir,
+		MaxInFlight:    *maxInFlight,
+		Horizon: horizon.Config{
+			Workers:       *workers,
+			Fsync:         fsyncPolicy,
+			FsyncInterval: *fsyncEvery,
+			SnapshotEvery: *snapEvery,
+		},
+	})
+	if err != nil {
+		log.Fatalf("vspserve: %v", err)
+	}
+	if *dataDir != "" {
+		if st := api.Recovery(); st.Recovered {
+			log.Printf("vspserve: recovered durable state from %s (snapshot=%v, replayed %d submits + %d advances, torn tail=%v)",
+				*dataDir, st.SnapshotLoaded, st.ReplayedSubmits, st.ReplayedAdvances, st.TailTruncated)
+		} else {
+			log.Printf("vspserve: durable intake journaling to %s (fsync=%s)", *dataDir, fsyncPolicy)
+		}
+	}
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler: server.NewWithOptions(model, server.Options{
-			RequestTimeout: *reqTimeout,
-			Workers:        *workers,
-			Horizon:        horizon.Config{Workers: *workers},
-		}),
+		Handler:      api,
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 120 * time.Second,
 		IdleTimeout:  *idleTimeout,
@@ -92,6 +128,9 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("vspserve: %v", err)
+		}
+		if err := api.Close(); err != nil {
+			log.Printf("vspserve: journal close: %v", err)
 		}
 		log.Print("vspserve: stopped")
 	}

@@ -1,0 +1,277 @@
+package horizon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/vodsim/vsp/internal/audit"
+	"github.com/vodsim/vsp/internal/cost"
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/schedule"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/wal"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Durability: a service opened with Recover journals every Submit and
+// Advance through a write-ahead log (internal/wal) in its data directory
+// and periodically compacts the log into a full-state snapshot. Crash
+// recovery loads the snapshot, replays the log's tail — re-running the
+// replayed epochs through the same deterministic planner — and refuses to
+// serve if the reconstructed committed schedule fails the audit bundle.
+// The layout of a data directory:
+//
+//	<dir>/wal.log    append-only operation journal
+//	<dir>/snapshot   atomically-replaced full state (may be absent)
+
+// LogName is the journal's file name inside a data directory.
+const LogName = "wal.log"
+
+// Journal operation kinds.
+const (
+	opSubmit  = "submit"
+	opAdvance = "advance"
+)
+
+// walOp is one journaled operation. Submit records carry the reservation
+// and its arrival instant; advance records carry the new horizon. Replay
+// re-executes them in order, which reproduces the committed state because
+// both operations are deterministic functions of the state they act on.
+type walOp struct {
+	Op    string          `json:"op"`
+	At    simtime.Time    `json:"at,omitempty"`
+	User  topology.UserID `json:"user,omitempty"`
+	Video media.VideoID   `json:"video,omitempty"`
+	Start simtime.Time    `json:"start,omitempty"`
+	To    simtime.Time    `json:"to,omitempty"`
+}
+
+// persistentState is the snapshot payload: the full mutable state of a
+// Service. The cost model and config are reconstruction parameters, not
+// state, and are supplied again at Recover time.
+type persistentState struct {
+	Horizon      simtime.Time       `json:"horizon"`
+	Epoch        int                `json:"epoch"`
+	Clock        simtime.Time       `json:"clock"`
+	EpochClock   simtime.Time       `json:"epoch_clock"`
+	Cost         units.Money        `json:"cost"`
+	Committed    *schedule.Schedule `json:"committed"`
+	Accepted     workload.Set       `json:"accepted"`
+	Pending      workload.Set       `json:"pending"`
+	PendingBytes float64            `json:"pending_bytes"`
+}
+
+// RecoveryStats reports what a Recover reconstructed, and the durable
+// service's ongoing snapshot health.
+type RecoveryStats struct {
+	// Recovered is true when any prior state was found on disk.
+	Recovered bool `json:"recovered"`
+	// SnapshotLoaded is true when a snapshot seeded the state.
+	SnapshotLoaded bool `json:"snapshot_loaded"`
+	// ReplayedSubmits and ReplayedAdvances count the journal records
+	// re-executed after the snapshot.
+	ReplayedSubmits  int `json:"replayed_submits"`
+	ReplayedAdvances int `json:"replayed_advances"`
+	// TailTruncated is true when the journal ended mid-record (a torn
+	// crash write) and the torn bytes were discarded.
+	TailTruncated bool `json:"tail_truncated"`
+	// SnapshotFailures counts snapshot writes that failed since open.
+	// The journal is left un-compacted on failure, so durability is
+	// unaffected; a growing count means the data directory needs care.
+	SnapshotFailures int `json:"snapshot_failures"`
+}
+
+// Recover opens a durable rolling-horizon service on dir, creating the
+// directory on first use. Prior state is restored from the snapshot plus
+// a deterministic replay of the journaled operations after it; the
+// recovered committed schedule must pass the full audit bundle
+// (validation, capacity, simulation with cost agreement, billing) or
+// Recover refuses with an error — a checksum-valid log that replays into
+// an inconsistent schedule is treated as damage, not served. The model
+// and config must describe the same infrastructure and policies the
+// journal was written under.
+func Recover(dir string, m *cost.Model, cfg Config) (*Service, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("horizon: data dir: %w", err)
+	}
+	s := New(m, cfg)
+
+	snapSeq, blob, haveSnap, err := wal.ReadSnapshot(dir)
+	if err != nil {
+		return nil, fmt.Errorf("horizon: recover %s: %w", dir, err)
+	}
+	if haveSnap {
+		if err := s.loadState(blob); err != nil {
+			return nil, fmt.Errorf("horizon: recover %s: snapshot: %w", dir, err)
+		}
+		s.recovery.SnapshotLoaded = true
+	}
+
+	log, recs, tail, err := wal.Open(filepath.Join(dir, LogName), wal.Options{
+		Fsync:     s.cfg.Fsync,
+		SyncEvery: s.cfg.FsyncInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("horizon: recover %s: %w", dir, err)
+	}
+	s.recovery.TailTruncated = tail == wal.TailTruncated
+
+	// Replay the journal tail. The journal is attached only afterwards,
+	// so replayed operations are not re-journaled and never snapshot.
+	for i, rec := range recs {
+		if rec.Seq <= snapSeq {
+			continue // compacted into the snapshot; left by a crash before Reset
+		}
+		var op walOp
+		if err := json.Unmarshal(rec.Payload, &op); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("horizon: recover %s: record %d undecodable: %w", dir, i, err)
+		}
+		switch op.Op {
+		case opSubmit:
+			_, err = s.Submit(op.At, workload.Request{User: op.User, Video: op.Video, Start: op.Start})
+			s.recovery.ReplayedSubmits++
+		case opAdvance:
+			_, err = s.Advance(context.Background(), op.To)
+			s.recovery.ReplayedAdvances++
+		default:
+			err = fmt.Errorf("unknown op %q", op.Op)
+		}
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("horizon: recover %s: replay record %d (%s): %w", dir, i, op.Op, err)
+		}
+	}
+	s.recovery.Recovered = haveSnap || s.recovery.ReplayedSubmits > 0 || s.recovery.ReplayedAdvances > 0
+
+	// Audit the reconstructed schedule against the reservations it claims
+	// to serve (everything accepted minus the still-pending intake, which
+	// is planned only at the next Advance). Refusing to start beats
+	// serving a committed schedule the infrastructure cannot execute.
+	planned := s.accepted[:len(s.accepted)-len(s.pending)]
+	if len(planned) > 0 || len(s.committed.Files) > 0 {
+		if rep := audit.Run(m, s.committed, planned); !rep.OK() {
+			log.Close()
+			return nil, fmt.Errorf("horizon: recover %s: recovered state fails audit: %s (%d finding(s))",
+				dir, rep.Findings[0], len(rep.Findings))
+		}
+	}
+
+	log.EnsureSeqAbove(snapSeq)
+	if len(recs) > 0 {
+		log.EnsureSeqAbove(recs[len(recs)-1].Seq)
+	}
+	s.lastSeq = log.NextSeq() - 1
+	s.journal = log
+	s.dir = dir
+	return s, nil
+}
+
+// Recovery returns what Recover reconstructed (zero for in-memory
+// services) plus the current snapshot-failure count.
+func (s *Service) Recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// Durable reports whether the service journals to disk.
+func (s *Service) Durable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal != nil
+}
+
+// Close flushes and closes the journal. The service must not be used
+// afterwards. Closing an in-memory service is a no-op.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}
+
+// journalOp appends one operation record; callers hold s.mu.
+func (s *Service) journalOp(op walOp) error {
+	blob, err := json.Marshal(op)
+	if err != nil {
+		return err
+	}
+	seq, err := s.journal.Append(blob)
+	if err != nil {
+		return err
+	}
+	s.lastSeq = seq
+	return nil
+}
+
+// maybeSnapshotLocked compacts the journal after an epoch commit when the
+// snapshot period has elapsed. A snapshot failure is recorded but not
+// fatal: the un-compacted journal still reaches the same state by replay.
+func (s *Service) maybeSnapshotLocked() {
+	if s.journal == nil {
+		return
+	}
+	every := s.cfg.SnapshotEvery
+	if every == 0 {
+		every = DefaultSnapshotEvery
+	}
+	if every < 0 || s.epoch%every != 0 {
+		return
+	}
+	blob, err := json.Marshal(s.stateLocked())
+	if err == nil {
+		err = wal.WriteSnapshot(s.dir, s.lastSeq, blob)
+	}
+	if err == nil {
+		err = s.journal.Reset()
+	}
+	if err != nil {
+		s.recovery.SnapshotFailures++
+	}
+}
+
+// stateLocked captures the full mutable state; callers hold s.mu.
+func (s *Service) stateLocked() persistentState {
+	return persistentState{
+		Horizon:      s.horizon,
+		Epoch:        s.epoch,
+		Clock:        s.clock,
+		EpochClock:   s.epochClock,
+		Cost:         s.cost,
+		Committed:    s.committed,
+		Accepted:     s.accepted,
+		Pending:      s.pending,
+		PendingBytes: s.pendingBytes,
+	}
+}
+
+// loadState restores a snapshot payload into a freshly built service.
+func (s *Service) loadState(blob []byte) error {
+	var st persistentState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return err
+	}
+	if st.Committed == nil {
+		st.Committed = schedule.New()
+	}
+	s.horizon = st.Horizon
+	s.epoch = st.Epoch
+	s.clock = st.Clock
+	s.epochClock = st.EpochClock
+	s.cost = st.Cost
+	s.committed = st.Committed
+	s.accepted = st.Accepted
+	s.pending = st.Pending
+	s.pendingBytes = st.PendingBytes
+	return nil
+}

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/vodsim/vsp/internal/cost"
 	"github.com/vodsim/vsp/internal/ivs"
@@ -50,6 +51,7 @@ import (
 	"github.com/vodsim/vsp/internal/simtime"
 	"github.com/vodsim/vsp/internal/sorp"
 	"github.com/vodsim/vsp/internal/units"
+	"github.com/vodsim/vsp/internal/wal"
 	"github.com/vodsim/vsp/internal/workload"
 )
 
@@ -80,7 +82,22 @@ type Config struct {
 	// evaluation inside Advance; 0 means GOMAXPROCS. The committed
 	// schedule is byte-identical for every worker count.
 	Workers int
+
+	// The remaining fields only apply to durable services (opened with
+	// Recover); an in-memory Service from New ignores them.
+
+	// SnapshotEvery compacts the journal with a full-state snapshot
+	// every this many committed epochs. 0 means DefaultSnapshotEvery;
+	// negative disables snapshots (the journal grows without bound).
+	SnapshotEvery int
+	// Fsync is the journal flush policy (default wal.FsyncAlways).
+	Fsync wal.FsyncPolicy
+	// FsyncInterval bounds the sync lag under wal.FsyncInterval.
+	FsyncInterval time.Duration
 }
+
+// DefaultSnapshotEvery is the journal compaction period in epochs.
+const DefaultSnapshotEvery = 4
 
 // Trigger names the condition that closed an epoch.
 type Trigger string
@@ -146,6 +163,12 @@ type Service struct {
 	accepted     workload.Set // every reservation ever accepted
 	pending      workload.Set // accepted but not yet planned
 	pendingBytes float64
+
+	// Durability (nil/zero for in-memory services; see durable.go).
+	journal  *wal.Log
+	dir      string
+	lastSeq  uint64
+	recovery RecoveryStats
 }
 
 // New returns a service with an empty committed schedule and horizon 0.
@@ -215,6 +238,14 @@ func (s *Service) Submit(at simtime.Time, r workload.Request) (Ack, error) {
 	if r.Start < s.horizon {
 		return Ack{}, fmt.Errorf("%w: start %v is before commit horizon %v",
 			ErrLateArrival, r.Start, s.horizon)
+	}
+	// Journal before mutating: a reservation is acknowledged only once it
+	// is on the log (per the configured fsync policy). A failed append
+	// leaves the in-memory state untouched.
+	if s.journal != nil {
+		if err := s.journalOp(walOp{Op: opSubmit, At: at, User: r.User, Video: r.Video, Start: r.Start}); err != nil {
+			return Ack{}, fmt.Errorf("horizon: journal submit: %w", err)
+		}
 	}
 	s.clock = simtime.Max(s.clock, at)
 	s.pending = append(s.pending, r)
@@ -315,6 +346,15 @@ func (s *Service) Advance(ctx context.Context, to simtime.Time) (*EpochResult, e
 		return nil, fmt.Errorf("horizon: epoch %d leaves %d overflows unresolved", s.epoch, len(l.AllOverflows()))
 	}
 
+	// Journal the epoch boundary only after the plan extension succeeded:
+	// replaying the log re-runs exactly the Advances that committed, and a
+	// failed append aborts the epoch with the previous state intact.
+	if s.journal != nil {
+		if err := s.journalOp(walOp{Op: opAdvance, To: to}); err != nil {
+			return nil, fmt.Errorf("horizon: journal advance: %w", err)
+		}
+	}
+
 	res.Cost = s.m.ScheduleCost(next)
 	s.committed = next
 	s.cost = res.Cost
@@ -323,6 +363,7 @@ func (s *Service) Advance(ctx context.Context, to simtime.Time) (*EpochResult, e
 	s.pending = nil
 	s.pendingBytes = 0
 	s.epochClock = simtime.Max(s.clock, to)
+	s.maybeSnapshotLocked()
 	return res, nil
 }
 

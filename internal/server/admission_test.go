@@ -1,0 +1,306 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/vodsim/vsp/internal/testutil"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// The limiter's contract, tested against a handler we can hold open
+// deterministically: with 1 slot and no queue, a second concurrent
+// request is shed immediately with 429 + Retry-After while the first
+// completes normally.
+func TestLimiterShedsAtSaturation(t *testing.T) {
+	lim := newLimiter(1, 0, time.Second)
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	h := lim.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	firstStatus := make(chan int, 1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/work")
+		if err != nil {
+			firstStatus <- 0
+			return
+		}
+		resp.Body.Close()
+		firstStatus <- resp.StatusCode
+	}()
+	<-entered // the slot is now provably held
+
+	resp, err := http.Get(ts.URL + "/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("shed reply Retry-After = %q, want a positive integer", ra)
+	}
+	if lim.Shed() != 1 {
+		t.Fatalf("shed counter = %d, want 1", lim.Shed())
+	}
+
+	close(release)
+	wg.Wait()
+	if got := <-firstStatus; got != http.StatusOK {
+		t.Fatalf("in-flight request completed with %d, want 200", got)
+	}
+}
+
+// A queued request gets the slot when it frees within the wait budget,
+// and is shed when it does not.
+func TestLimiterQueue(t *testing.T) {
+	t.Run("admitted-when-slot-frees", func(t *testing.T) {
+		lim := newLimiter(1, 1, 5*time.Second)
+		release := make(chan struct{})
+		entered := make(chan struct{}, 2)
+		h := lim.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			entered <- struct{}{}
+			if r.URL.Path == "/slow" {
+				<-release
+			}
+			w.WriteHeader(http.StatusOK)
+		}))
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+
+		go http.Get(ts.URL + "/slow")
+		<-entered
+
+		done := make(chan int, 1)
+		go func() {
+			resp, err := http.Get(ts.URL + "/fast")
+			if err != nil {
+				done <- 0
+				return
+			}
+			resp.Body.Close()
+			done <- resp.StatusCode
+		}()
+		// Give the second request time to park in the queue, then free
+		// the slot; the queued request must be admitted, not shed.
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+		if got := <-done; got != http.StatusOK {
+			t.Fatalf("queued request: status %d, want 200", got)
+		}
+		if lim.Shed() != 0 {
+			t.Fatalf("shed counter = %d, want 0", lim.Shed())
+		}
+	})
+
+	t.Run("shed-after-wait", func(t *testing.T) {
+		lim := newLimiter(1, 1, 20*time.Millisecond)
+		release := make(chan struct{})
+		defer close(release)
+		entered := make(chan struct{}, 1)
+		h := lim.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			entered <- struct{}{}
+			<-release
+		}))
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+
+		go http.Get(ts.URL + "/slow")
+		<-entered
+		resp, err := http.Get(ts.URL + "/fast")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("wait-expired request: status %d, want 429", resp.StatusCode)
+		}
+	})
+}
+
+// End to end through the real server: hold the single admission slot with
+// a blocking request, then hit a real API endpoint. It must be shed with
+// 429 + Retry-After while the in-flight request completes, the shed count
+// must surface on /v1/stats, and /healthz must answer throughout.
+func TestServerOverloadSheds(t *testing.T) {
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := mustNew(t, f, Options{MaxInFlight: 1, MaxQueue: -1, QueueWait: 10 * time.Millisecond})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv.mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	slowStatus := make(chan int, 1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/slow")
+		if err != nil {
+			slowStatus <- 0
+			return
+		}
+		resp.Body.Close()
+		slowStatus <- resp.StatusCode
+	}()
+	<-entered // the only slot is now provably held
+
+	resp := postJSON(t, ts.URL+"/v1/schedule", ScheduleRequest{Requests: f.Requests})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated schedule request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed schedule request missing Retry-After")
+	}
+
+	// Liveness must bypass admission control at saturation.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("healthz at saturation: %d", hresp.StatusCode)
+	}
+
+	close(release)
+	wg.Wait()
+	if got := <-slowStatus; got != http.StatusOK {
+		t.Fatalf("in-flight request completed with %d, want 200", got)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[StatsResponse](t, sresp)
+	if stats.Overload.Shed != 1 {
+		t.Errorf("stats shed = %d, want 1", stats.Overload.Shed)
+	}
+	if stats.Overload.MaxInFlight != 1 {
+		t.Errorf("stats max_in_flight = %d, want 1", stats.Overload.MaxInFlight)
+	}
+}
+
+// /healthz must answer while every slot is provably held.
+func TestHealthzBypassesLimiter(t *testing.T) {
+	lim := newLimiter(1, 0, time.Second)
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{}, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	mux.HandleFunc("GET /work", func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	})
+	ts := httptest.NewServer(lim.wrap(mux))
+	t.Cleanup(ts.Close)
+
+	go http.Get(ts.URL + "/work")
+	<-entered
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz at saturation: %d", resp.StatusCode)
+	}
+}
+
+// Durable server lifecycle: reservations and epochs survive a restart,
+// and the stats endpoint reports horizon state and recovery counters.
+func TestServerDurableRestart(t *testing.T) {
+	f, err := testutil.NewFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opts := Options{DataDir: dir}
+
+	srv1, err := NewWithOptions(f.Model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	for _, q := range f.Requests {
+		resp := postJSON(t, ts1.URL+"/v1/reservations", ReservationRequest{User: q.User, Video: q.Video, Start: q.Start})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("reservation: %d", resp.StatusCode)
+		}
+	}
+	resp := postJSON(t, ts1.URL+"/v1/advance", AdvanceRequest{To: 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advance: %d", resp.StatusCode)
+	}
+	planResp, err := http.Get(ts1.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := decode[PlanResponse](t, planResp)
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := NewWithOptions(f.Model, opts)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", dir, err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(ts2.Close)
+
+	planResp2, err := http.Get(ts2.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := decode[PlanResponse](t, planResp2)
+	if after.Epoch != before.Epoch || after.Cost != before.Cost ||
+		len(after.Schedule.Files) != len(before.Schedule.Files) {
+		t.Fatalf("plan did not survive restart:\nbefore %+v\nafter  %+v", before, after)
+	}
+
+	statsResp, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[StatsResponse](t, statsResp)
+	if !stats.Recovery.Recovered {
+		t.Errorf("stats recovery does not report the restart: %+v", stats.Recovery)
+	}
+	if !stats.Horizon.Durable || stats.Horizon.Epoch != before.Epoch {
+		t.Errorf("stats horizon wrong after restart: %+v", stats.Horizon)
+	}
+
+	// The recovered service keeps accepting and planning.
+	q := workload.Request{User: f.Requests[0].User, Video: f.Requests[0].Video, Start: f.Requests[0].Start + 7200}
+	r2 := postJSON(t, ts2.URL+"/v1/reservations", ReservationRequest{User: q.User, Video: q.Video, Start: q.Start})
+	if r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-recovery reservation: %d", r2.StatusCode)
+	}
+}

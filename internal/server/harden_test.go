@@ -63,7 +63,7 @@ func TestOversizedBodyRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(NewWithOptions(f.Model, Options{MaxRequestBytes: 1 << 10}))
+	ts := httptest.NewServer(mustNew(t, f, Options{MaxRequestBytes: 1 << 10}))
 	t.Cleanup(ts.Close)
 
 	big := `{"requests": [` + strings.Repeat(`{"user":0,"video":0,"start":0},`, 200) + `{"user":0,"video":0,"start":0}]}`
@@ -84,7 +84,7 @@ func TestRequestTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewWithOptions(f.Model, Options{RequestTimeout: 50 * time.Millisecond})
+	s := mustNew(t, f, Options{RequestTimeout: 50 * time.Millisecond})
 	s.mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
@@ -101,6 +101,10 @@ func TestRequestTimeout(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	// Timed-out clients must be told to back off exactly like shed ones.
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("timeout 503 missing Retry-After header")
 	}
 	body, _ := io.ReadAll(resp.Body)
 	var msg map[string]string

@@ -10,13 +10,23 @@ import (
 	"github.com/vodsim/vsp/internal/testutil"
 )
 
+func mustNew(t *testing.T, f *testutil.Fig2, opts Options) *Server {
+	t.Helper()
+	s, err := NewWithOptions(f.Model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
 func newTestServerWithOptions(t *testing.T, opts Options) (*httptest.Server, *testutil.Fig2) {
 	t.Helper()
 	f, err := testutil.NewFig2()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(NewWithOptions(f.Model, opts))
+	ts := httptest.NewServer(mustNew(t, f, opts))
 	t.Cleanup(ts.Close)
 	return ts, f
 }

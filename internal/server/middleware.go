@@ -26,6 +26,24 @@ type Options struct {
 	// produced schedule is byte-identical for any value; 0 means GOMAXPROCS,
 	// 1 forces the sequential path.
 	Workers int
+	// DataDir makes the rolling-horizon service durable: every accepted
+	// reservation and committed epoch is journaled to a write-ahead log
+	// under this directory, and construction recovers prior state from it
+	// (refusing on a state that fails the audit bundle). Empty keeps the
+	// horizon in memory, as before. The fsync policy and snapshot period
+	// come from Horizon (Fsync, FsyncInterval, SnapshotEvery).
+	DataDir string
+	// MaxInFlight bounds concurrently handled requests; excess requests
+	// wait briefly in a bounded queue and are then shed with 429 +
+	// Retry-After. 0 means DefaultMaxInFlight; negative disables
+	// admission control.
+	MaxInFlight int
+	// MaxQueue bounds the overload wait queue (0 = DefaultMaxQueue;
+	// negative = no queue, shed immediately at saturation).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// being shed (0 = DefaultQueueWait).
+	QueueWait time.Duration
 }
 
 const (
@@ -34,6 +52,14 @@ const (
 	// DefaultMaxRequestBytes caps POST bodies at 16 MiB — far above any
 	// legitimate reservation batch, far below a memory-exhaustion payload.
 	DefaultMaxRequestBytes = 16 << 20
+	// DefaultMaxInFlight bounds concurrently handled requests. Scheduling
+	// is CPU-bound, so admitting far beyond the core count only adds
+	// queueing delay dressed up as work in progress.
+	DefaultMaxInFlight = 64
+	// DefaultMaxQueue is the overload wait-queue depth.
+	DefaultMaxQueue = 256
+	// DefaultQueueWait is how long a queued request may wait for a slot.
+	DefaultQueueWait = time.Second
 )
 
 func (o Options) withDefaults() Options {
@@ -46,20 +72,71 @@ func (o Options) withDefaults() Options {
 	if o.MaxRequestBytes == 0 {
 		o.MaxRequestBytes = DefaultMaxRequestBytes
 	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = DefaultMaxInFlight
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = DefaultMaxQueue
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = 0
+	}
+	if o.QueueWait <= 0 {
+		o.QueueWait = DefaultQueueWait
+	}
 	return o
 }
 
 // harden wraps the router with the protective layers, innermost first:
 // body-size capping (so handlers can never buffer an unbounded body), the
-// per-request timeout, and outermost panic recovery (http.TimeoutHandler
-// propagates inner-handler panics to its caller, so recovery must sit
-// outside it).
-func harden(h http.Handler, opts Options) http.Handler {
+// per-request timeout, admission control (outside the timeout, so queue
+// wait does not consume the handling budget), the Retry-After decoration
+// of 503s, and outermost panic recovery (http.TimeoutHandler propagates
+// inner-handler panics to its caller, so recovery must sit outside it).
+func harden(h http.Handler, opts Options, lim *limiter) http.Handler {
 	h = limitBody(h, opts.MaxRequestBytes)
 	if opts.RequestTimeout > 0 {
 		h = http.TimeoutHandler(h, opts.RequestTimeout, `{"error":"request timed out"}`)
 	}
-	return recoverPanics(h)
+	if lim != nil {
+		h = lim.wrap(h)
+	}
+	return recoverPanics(retryAfter503(h))
+}
+
+// timeoutRetryAfter is the Retry-After value attached to 503 replies.
+const timeoutRetryAfter = "1"
+
+// retryAfter503 decorates every 503 reply — http.TimeoutHandler's, and
+// the handlers' own context-expiry 503s — with a Retry-After header, so
+// timed-out clients back off exactly like shed ones (whose 429 carries
+// the header already).
+func retryAfter503(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&retryAfterWriter{ResponseWriter: w}, r)
+	})
+}
+
+type retryAfterWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+}
+
+func (w *retryAfterWriter) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.wroteHeader = true
+		if code == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", timeoutRetryAfter)
+		}
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *retryAfterWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // limitBody caps the request body via http.MaxBytesReader; reads past the

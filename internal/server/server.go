@@ -27,6 +27,7 @@ import (
 	"github.com/vodsim/vsp/internal/repair"
 	"github.com/vodsim/vsp/internal/schedule"
 	"github.com/vodsim/vsp/internal/scheduler"
+	"github.com/vodsim/vsp/internal/simtime"
 	"github.com/vodsim/vsp/internal/sorp"
 	"github.com/vodsim/vsp/internal/topology"
 	"github.com/vodsim/vsp/internal/units"
@@ -41,20 +42,46 @@ type Server struct {
 	model   *cost.Model
 	horizon *horizon.Service
 	workers int
+	limiter *limiter
 	mux     *http.ServeMux
 	handler http.Handler
 }
 
-// New builds a server around a cost model with default hardening.
-func New(model *cost.Model) *Server { return NewWithOptions(model, Options{}) }
+// New builds a server around a cost model with default hardening and an
+// in-memory horizon (no DataDir, so construction cannot fail).
+func New(model *cost.Model) *Server {
+	s, err := NewWithOptions(model, Options{})
+	if err != nil {
+		panic("server: default construction failed: " + err.Error())
+	}
+	return s
+}
 
-// NewWithOptions builds a server with explicit hardening options.
-func NewWithOptions(model *cost.Model, opts Options) *Server {
+// NewWithOptions builds a server with explicit hardening options. It
+// fails when Options.DataDir names a directory whose journaled state
+// cannot be recovered (corrupt log, or a recovered schedule that fails
+// the audit bundle) — a crashed service must not come back up serving a
+// schedule it cannot honor.
+func NewWithOptions(model *cost.Model, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	var hz *horizon.Service
+	if opts.DataDir != "" {
+		var err error
+		hz, err = horizon.Recover(opts.DataDir, model, opts.Horizon)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		hz = horizon.New(model, opts.Horizon)
+	}
 	s := &Server{
 		model:   model,
-		horizon: horizon.New(model, opts.Horizon),
+		horizon: hz,
 		workers: opts.Workers,
 		mux:     http.NewServeMux(),
+	}
+	if opts.MaxInFlight > 0 {
+		s.limiter = newLimiter(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/topology", s.handleTopology)
@@ -66,12 +93,20 @@ func NewWithOptions(model *cost.Model, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/reservations", s.handleReservation)
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
-	s.handler = harden(s.mux, opts.withDefaults())
-	return s
+	s.handler = harden(s.mux, opts, s.limiter)
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// Recovery reports what the horizon service recovered at construction
+// (zero for in-memory servers).
+func (s *Server) Recovery() horizon.RecoveryStats { return s.horizon.Recovery() }
+
+// Close flushes and closes the horizon journal (no-op without DataDir).
+// Call it after the HTTP server has drained.
+func (s *Server) Close() error { return s.horizon.Close() }
 
 // decodeBody decodes a JSON request body into v, writing the error reply
 // itself on failure: 413 when the hardening body cap was hit, 400 for any
@@ -102,19 +137,58 @@ func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.model.Catalog())
 }
 
-// StatsResponse is the GET /v1/stats reply: the infrastructure's shape and
-// tariff summary.
+// StatsResponse is the GET /v1/stats reply: the infrastructure's shape
+// and tariff summary, the live rolling-horizon state, the overload
+// counters and what recovery reconstructed at startup.
 type StatsResponse struct {
-	Topology topology.Stats `json:"topology"`
-	Titles   int            `json:"titles"`
-	MeanSize units.Bytes    `json:"mean_title_bytes"`
+	Topology topology.Stats        `json:"topology"`
+	Titles   int                   `json:"titles"`
+	MeanSize units.Bytes           `json:"mean_title_bytes"`
+	Horizon  HorizonStats          `json:"horizon"`
+	Overload OverloadStats         `json:"overload"`
+	Recovery horizon.RecoveryStats `json:"recovery"`
+}
+
+// HorizonStats is the rolling-horizon service's live state.
+type HorizonStats struct {
+	Epoch         int          `json:"epoch"`
+	Horizon       simtime.Time `json:"horizon"`
+	Pending       int          `json:"pending"`
+	CommittedCost units.Money  `json:"committed_cost"`
+	Durable       bool         `json:"durable"`
+}
+
+// OverloadStats reports the admission-control counters.
+type OverloadStats struct {
+	// Shed counts requests rejected with 429 since startup.
+	Shed uint64 `json:"shed"`
+	// InFlight and MaxInFlight describe current saturation.
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var ov OverloadStats
+	if s.limiter != nil {
+		ov = OverloadStats{
+			Shed:        s.limiter.Shed(),
+			InFlight:    s.limiter.InFlight(),
+			MaxInFlight: s.limiter.Capacity(),
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Topology: s.model.Book().Topology().ComputeStats(),
 		Titles:   s.model.Catalog().Len(),
 		MeanSize: s.model.Catalog().MeanSize(),
+		Horizon: HorizonStats{
+			Epoch:         s.horizon.Epoch(),
+			Horizon:       s.horizon.Horizon(),
+			Pending:       s.horizon.Pending(),
+			CommittedCost: s.horizon.Cost(),
+			Durable:       s.horizon.Durable(),
+		},
+		Overload: ov,
+		Recovery: s.horizon.Recovery(),
 	})
 }
 

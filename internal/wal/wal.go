@@ -1,0 +1,381 @@
+// Package wal implements the write-ahead log the durable horizon service
+// journals through: an append-only file of length-prefixed,
+// CRC32-checksummed records, plus an atomically-replaced snapshot file
+// that compacts the log.
+//
+// On-disk layout of a log file:
+//
+//	| magic "VSPWAL1\n" (8 bytes) |
+//	| record | record | ... |
+//
+// and of one record:
+//
+//	| len uint32 LE | crc uint32 LE | seq uint64 LE | payload (len bytes) |
+//
+// where crc is CRC-32 (IEEE) over the little-endian seq followed by the
+// payload, and seq is a strictly increasing record sequence number that
+// survives log compaction (the snapshot stores the sequence it covers, so
+// a crash between snapshot publication and log truncation only leaves
+// records the next recovery provably skips).
+//
+// The reader distinguishes two failure classes, which matters for crash
+// recovery: a *truncated tail* (the file ends mid-record — the expected
+// result of a crash between write and sync) is tolerated, the torn bytes
+// are discarded and the log reopened for appending; *corruption* (a CRC
+// mismatch, an impossible record length, a sequence regression, a foreign
+// magic) is never silently repaired — the open fails and an operator must
+// intervene, because replaying around damaged history could re-derive a
+// schedule that disagrees with what was promised to users.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// logMagic begins every log file; a file that starts differently was not
+// written by this package and is rejected rather than replayed.
+const logMagic = "VSPWAL1\n"
+
+// recordHeaderSize is len + crc + seq.
+const recordHeaderSize = 4 + 4 + 8
+
+// MaxRecordBytes caps a single record's payload. A legitimate writer
+// never comes near it; a longer declared length is read as corruption
+// (most likely a damaged length field), not as an instruction to wait
+// for 4 GiB of payload.
+const MaxRecordBytes = 64 << 20
+
+// FsyncPolicy selects when appends are flushed to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: no acknowledged record is
+	// ever lost, at the price of one fsync per operation.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs at most once per Options.SyncEvery: a crash
+	// loses at most the last interval's records, amortizing the fsync.
+	FsyncInterval
+	// FsyncNever leaves flushing to the operating system: fastest, and a
+	// crash may lose everything since the last incidental flush.
+	FsyncNever
+)
+
+// String returns the flag spelling of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy parses the flag spelling ("always", "interval",
+// "never").
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// DefaultSyncEvery is the FsyncInterval flush period when
+// Options.SyncEvery is zero.
+const DefaultSyncEvery = 100 * time.Millisecond
+
+// Options configures a Log.
+type Options struct {
+	// Fsync is the flush policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// SyncEvery bounds the sync lag under FsyncInterval (default
+	// DefaultSyncEvery); ignored by the other policies.
+	SyncEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = DefaultSyncEvery
+	}
+	return o
+}
+
+// Record is one decoded log entry.
+type Record struct {
+	// Seq is the record's sequence number, strictly increasing across
+	// the life of the log (compaction does not reset it).
+	Seq uint64
+	// Payload is the application data, owned by the caller.
+	Payload []byte
+}
+
+// Tail describes how a decoded byte stream ended.
+type Tail int
+
+const (
+	// TailClean: the stream ends exactly on a record boundary.
+	TailClean Tail = iota
+	// TailTruncated: the stream ends mid-record — the signature of a
+	// crash between write and sync. The complete prefix is valid; the
+	// torn bytes carry no acknowledged data and are safe to discard.
+	TailTruncated
+	// TailCorrupt: a structurally complete record failed its checksum,
+	// declared an impossible length, or regressed the sequence — damage,
+	// not a torn write. Decoded records up to the damage are returned,
+	// but recovery must not proceed past it silently.
+	TailCorrupt
+)
+
+// String names the disposition.
+func (t Tail) String() string {
+	switch t {
+	case TailClean:
+		return "clean"
+	case TailTruncated:
+		return "truncated"
+	case TailCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("Tail(%d)", int(t))
+}
+
+// ErrCorrupt is wrapped by every corruption error DecodeAll and Open
+// report, so callers can distinguish damage from I/O failures.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// DecodeAll decodes a complete log byte stream (including the file
+// magic). It never panics on any input. The returned records are the
+// valid prefix; Tail reports how the stream ended, and err is non-nil
+// exactly when the tail is corrupt.
+func DecodeAll(data []byte) ([]Record, Tail, error) {
+	recs, tail, _, err := decode(data)
+	return recs, tail, err
+}
+
+// decode additionally returns the byte length of the valid prefix
+// (magic + complete records), which Open uses to truncate a torn tail.
+func decode(data []byte) (recs []Record, tail Tail, validLen int64, err error) {
+	if len(data) == 0 {
+		return nil, TailClean, 0, nil
+	}
+	if len(data) < len(logMagic) {
+		if string(data) == logMagic[:len(data)] {
+			// A crash can tear even the header write of a brand-new log.
+			return nil, TailTruncated, 0, nil
+		}
+		return nil, TailCorrupt, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if string(data[:len(logMagic)]) != logMagic {
+		return nil, TailCorrupt, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	off := int64(len(logMagic))
+	var prevSeq uint64
+	for {
+		rem := data[off:]
+		if len(rem) == 0 {
+			return recs, TailClean, off, nil
+		}
+		if len(rem) < recordHeaderSize {
+			return recs, TailTruncated, off, nil
+		}
+		ln := binary.LittleEndian.Uint32(rem[0:4])
+		crc := binary.LittleEndian.Uint32(rem[4:8])
+		seq := binary.LittleEndian.Uint64(rem[8:16])
+		if ln > MaxRecordBytes {
+			return recs, TailCorrupt, off, fmt.Errorf("%w: record %d declares %d-byte payload (cap %d)",
+				ErrCorrupt, len(recs), ln, MaxRecordBytes)
+		}
+		if int64(len(rem)) < recordHeaderSize+int64(ln) {
+			return recs, TailTruncated, off, nil
+		}
+		payload := rem[recordHeaderSize : recordHeaderSize+int64(ln)]
+		if got := checksum(seq, payload); got != crc {
+			return recs, TailCorrupt, off, fmt.Errorf("%w: record %d checksum mismatch (stored %08x, computed %08x)",
+				ErrCorrupt, len(recs), crc, got)
+		}
+		if seq <= prevSeq {
+			return recs, TailCorrupt, off, fmt.Errorf("%w: record %d sequence %d does not advance past %d",
+				ErrCorrupt, len(recs), seq, prevSeq)
+		}
+		prevSeq = seq
+		recs = append(recs, Record{Seq: seq, Payload: append([]byte(nil), payload...)})
+		off += recordHeaderSize + int64(ln)
+	}
+}
+
+func checksum(seq uint64, payload []byte) uint32 {
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], seq)
+	h := crc32.NewIEEE()
+	h.Write(sb[:])
+	h.Write(payload)
+	return h.Sum32()
+}
+
+// encodeRecord frames one record.
+func encodeRecord(seq uint64, payload []byte) []byte {
+	buf := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], checksum(seq, payload))
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	copy(buf[recordHeaderSize:], payload)
+	return buf
+}
+
+// Log is an open write-ahead log. It is not safe for concurrent use; the
+// horizon service serializes access under its own mutex.
+type Log struct {
+	f        *os.File
+	path     string
+	opts     Options
+	nextSeq  uint64
+	lastSync time.Time
+}
+
+// Open opens (creating if absent) the log at path, decodes and returns
+// every complete record for replay, and truncates a torn tail in place so
+// the log is append-ready. A corrupt log fails the open with an error
+// wrapping ErrCorrupt.
+func Open(path string, opts Options) (*Log, []Record, Tail, error) {
+	opts = opts.withDefaults()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, TailClean, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, TailClean, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	recs, tail, validLen, derr := decode(data)
+	if tail == TailCorrupt {
+		f.Close()
+		return nil, recs, tail, fmt.Errorf("wal: %s: %w", path, derr)
+	}
+	l := &Log{f: f, path: path, opts: opts, nextSeq: 1, lastSync: time.Now()}
+	if len(recs) > 0 {
+		l.nextSeq = recs[len(recs)-1].Seq + 1
+	}
+	if len(data) == 0 {
+		// Brand-new log: publish the header before any record.
+		if _, err := f.Write([]byte(logMagic)); err != nil {
+			f.Close()
+			return nil, nil, tail, fmt.Errorf("wal: write header: %w", err)
+		}
+		if err := l.Sync(); err != nil {
+			f.Close()
+			return nil, nil, tail, err
+		}
+	} else if tail == TailTruncated {
+		// Discard the torn record: validLen covers magic + whole records.
+		// A torn header (validLen 0) is re-written from scratch.
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, recs, tail, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, recs, tail, fmt.Errorf("wal: seek %s: %w", path, err)
+		}
+		if validLen == 0 {
+			if _, err := f.Write([]byte(logMagic)); err != nil {
+				f.Close()
+				return nil, recs, tail, fmt.Errorf("wal: rewrite header: %w", err)
+			}
+		}
+		if err := l.Sync(); err != nil {
+			f.Close()
+			return nil, recs, tail, err
+		}
+	} else {
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, recs, tail, fmt.Errorf("wal: seek %s: %w", path, err)
+		}
+	}
+	return l, recs, tail, nil
+}
+
+// Append journals one payload and returns its sequence number. The
+// record is on stable storage when Append returns iff the policy is
+// FsyncAlways (or the interval elapsed under FsyncInterval).
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if int64(len(payload)) > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: %d-byte payload exceeds record cap %d", len(payload), int64(MaxRecordBytes))
+	}
+	seq := l.nextSeq
+	if _, err := l.f.Write(encodeRecord(seq, payload)); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.nextSeq++
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.Sync(); err != nil {
+			return 0, err
+		}
+	case FsyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			if err := l.Sync(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return seq, nil
+}
+
+// Sync flushes the log to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Reset empties the log after a snapshot has been published, keeping the
+// sequence counter monotonic so pre-snapshot records that survive a crash
+// between snapshot and reset are recognizably stale.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(int64(len(logMagic))); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("wal: reset seek: %w", err)
+	}
+	return l.Sync()
+}
+
+// NextSeq returns the sequence number the next Append will use.
+func (l *Log) NextSeq() uint64 { return l.nextSeq }
+
+// EnsureSeqAbove bumps the sequence counter past seq; recovery calls it
+// with the snapshot's sequence so appends never reuse a covered number.
+func (l *Log) EnsureSeqAbove(seq uint64) {
+	if l.nextSeq <= seq {
+		l.nextSeq = seq + 1
+	}
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	serr := l.Sync()
+	cerr := l.f.Close()
+	l.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

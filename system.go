@@ -131,6 +131,17 @@ func (s *System) OpenHorizon(cfg HorizonConfig) *Horizon {
 	return horizon.New(s.fresh(), cfg)
 }
 
+// OpenDurableHorizon is OpenHorizon with crash safety: every accepted
+// reservation and committed epoch is journaled to a write-ahead log under
+// dir (fsync policy per cfg.Fsync) and periodically compacted into
+// snapshots, and opening an existing directory recovers the prior state —
+// replaying the journal deterministically and re-verifying the recovered
+// committed schedule with the audit bundle before serving. Close the
+// returned Horizon to release the journal.
+func (s *System) OpenDurableHorizon(dir string, cfg HorizonConfig) (*Horizon, error) {
+	return horizon.Recover(dir, s.fresh(), cfg)
+}
+
 // GenerateFaults synthesizes a seeded random fault scenario over the
 // system's topology.
 func (s *System) GenerateFaults(cfg FaultGenConfig) (*FaultScenario, error) {

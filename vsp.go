@@ -38,6 +38,7 @@ import (
 	"github.com/vodsim/vsp/internal/topology"
 	"github.com/vodsim/vsp/internal/units"
 	"github.com/vodsim/vsp/internal/vodsim"
+	"github.com/vodsim/vsp/internal/wal"
 	"github.com/vodsim/vsp/internal/workload"
 )
 
@@ -134,6 +135,13 @@ type (
 	HorizonTrigger = horizon.Trigger
 	// EpochResult reports one committed epoch of a Horizon.
 	EpochResult = horizon.EpochResult
+	// HorizonRecoveryStats reports what System.OpenDurableHorizon found
+	// on disk: whether state was recovered, from snapshot or journal
+	// replay, and whether a torn final record was truncated.
+	HorizonRecoveryStats = horizon.RecoveryStats
+	// FsyncPolicy selects how eagerly the durable horizon's write-ahead
+	// log is synced to stable storage (see HorizonConfig.Fsync).
+	FsyncPolicy = wal.FsyncPolicy
 
 	// FaultScenario is a set of timed infrastructure failures to inject
 	// into a schedule execution.
@@ -217,6 +225,15 @@ const (
 	TriggerRequests = horizon.TriggerRequests
 	TriggerBytes    = horizon.TriggerBytes
 	TriggerTick     = horizon.TriggerTick
+)
+
+// Journal fsync policies for System.OpenDurableHorizon. FsyncAlways never
+// loses an acknowledged reservation; FsyncOnInterval bounds loss to the
+// configured sync lag; FsyncNever leaves syncing to the OS.
+const (
+	FsyncAlways     = wal.FsyncAlways
+	FsyncOnInterval = wal.FsyncInterval
+	FsyncNever      = wal.FsyncNever
 )
 
 // ErrLateArrival is returned by Horizon.Submit for a reservation whose

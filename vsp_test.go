@@ -1,6 +1,8 @@
 package vsp_test
 
 import (
+	"context"
+	"sort"
 	"testing"
 
 	vsp "github.com/vodsim/vsp"
@@ -283,5 +285,52 @@ func TestPublicAPIAudit(t *testing.T) {
 	}
 	if sys.Audit(bad, reqs).OK() {
 		t.Error("audit passed a corrupted schedule")
+	}
+}
+
+// TestPublicAPIDurableHorizon drives the crash-safe intake through the
+// façade: submit, advance, close, then reopen the same directory and
+// verify the committed schedule survived.
+func TestPublicAPIDurableHorizon(t *testing.T) {
+	sys, reqs := newSystem(t)
+	dir := t.TempDir()
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Start < reqs[j].Start })
+	batch := reqs[:8]
+
+	hz, err := sys.OpenDurableHorizon(dir, vsp.HorizonConfig{Fsync: vsp.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range batch {
+		if _, err := hz.Submit(0, r); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	to := batch[len(batch)-1].Start + 1
+	if _, err := hz.Advance(context.Background(), to); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	cost, epoch := hz.Cost(), hz.Epoch()
+	if cost <= 0 || epoch != 1 {
+		t.Fatalf("after advance: cost=%v epoch=%d", cost, epoch)
+	}
+	if err := hz.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	hz2, err := sys.OpenDurableHorizon(dir, vsp.HorizonConfig{Fsync: vsp.FsyncAlways})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer hz2.Close()
+	if !hz2.Recovery().Recovered {
+		t.Error("reopen did not report recovery")
+	}
+	if hz2.Cost() != cost || hz2.Epoch() != epoch || hz2.Horizon() != to {
+		t.Errorf("recovered cost=%v epoch=%d horizon=%v, want %v/%d/%v",
+			hz2.Cost(), hz2.Epoch(), hz2.Horizon(), cost, epoch, to)
+	}
+	if rep := sys.Audit(hz2.Committed(), vsp.RequestSet(batch)); !rep.OK() {
+		t.Errorf("recovered schedule fails audit: %v", rep.Findings)
 	}
 }
