@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test vet bench bench-json race soak cover fuzz figures results examples clean
+.PHONY: all build test vet bench bench-json race soak cover fuzz figures results examples failover-demo clean
 
 all: build vet test
 
@@ -68,6 +68,12 @@ examples:
 	$(GO) run ./examples/replication
 	$(GO) run ./examples/fault-repair
 	$(GO) run ./examples/rolling-horizon
+	$(GO) run ./examples/failover
+
+# Two-node failover demo: durable primary + warm standby in one process,
+# kill, fence, promote, byte-identical plan check (examples/failover).
+failover-demo:
+	$(GO) run ./examples/failover
 
 clean:
 	rm -rf $(BIN) figures

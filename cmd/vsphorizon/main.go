@@ -12,6 +12,11 @@
 // With -compare it additionally re-runs the one-shot scheduler over the
 // accumulated batch at every epoch boundary, reporting how much work the
 // incremental service saves and the cost premium it pays (if any).
+//
+// With -server the trace is replayed against a running vspserve instead
+// of an in-process service: reservations go to POST /v1/reservations and
+// epoch boundaries to POST /v1/advance, with jittered-backoff retries on
+// transient failures (an overloaded server's 429/Retry-After included).
 package main
 
 import (
@@ -20,12 +25,15 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/vodsim/vsp/internal/cli"
 	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/ivs"
+	"github.com/vodsim/vsp/internal/retryhttp"
 	"github.com/vodsim/vsp/internal/scheduler"
+	"github.com/vodsim/vsp/internal/server"
 	"github.com/vodsim/vsp/internal/simtime"
 	"github.com/vodsim/vsp/internal/sorp"
 	"github.com/vodsim/vsp/internal/workload"
@@ -43,6 +51,7 @@ type options struct {
 	compare                    bool
 	outPath                    string
 	quiet                      bool
+	serverURL                  string
 }
 
 func main() {
@@ -62,6 +71,7 @@ func main() {
 	flag.BoolVar(&o.compare, "compare", false, "also run the full re-solve baseline at every epoch boundary")
 	flag.StringVar(&o.outPath, "out", "", "write the final committed schedule JSON here")
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress the per-epoch table")
+	flag.StringVar(&o.serverURL, "server", "", "replay against a running vspserve at this base URL instead of in-process (epoch triggers then come from the server's -horizon config)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "vsphorizon:", err)
@@ -87,6 +97,36 @@ func parsePolicy(s string) (ivs.Policy, error) {
 	return 0, fmt.Errorf("unknown caching policy %q", s)
 }
 
+// arrival is one reservation and the instant it reaches the intake.
+type arrival struct {
+	at simtime.Time
+	r  workload.Request
+}
+
+// buildTrace turns a reservation set into a timed arrival sequence: each
+// reservation arrives `lead` before it starts (never before t=0), replayed
+// in arrival order.
+func buildTrace(reqs workload.Set, lead simtime.Duration) []arrival {
+	trace := make([]arrival, len(reqs))
+	for i, r := range reqs {
+		at := r.Start.Add(-lead)
+		if at < 0 {
+			at = 0
+		}
+		trace[i] = arrival{at: at, r: r}
+	}
+	sort.Slice(trace, func(i, j int) bool {
+		if trace[i].at != trace[j].at {
+			return trace[i].at < trace[j].at
+		}
+		if trace[i].r.Start != trace[j].r.Start {
+			return trace[i].r.Start < trace[j].r.Start
+		}
+		return trace[i].r.User < trace[j].r.User
+	})
+	return trace
+}
+
 func run(o options) error {
 	if o.topoPath == "" || o.catPath == "" || o.reqPath == "" {
 		return fmt.Errorf("-topo, -catalog and -requests are required")
@@ -106,6 +146,14 @@ func run(o options) error {
 	if len(reqs) == 0 {
 		return fmt.Errorf("empty reservation trace")
 	}
+	lead := simtime.Duration(o.leadHours * float64(simtime.Hour))
+	trace := buildTrace(reqs, lead)
+	if o.serverURL != "" {
+		if o.compare {
+			return fmt.Errorf("-compare needs the in-process service; it cannot run against -server")
+		}
+		return runRemote(o, trace)
+	}
 	metric, err := parseMetric(o.metricName)
 	if err != nil {
 		return err
@@ -122,31 +170,6 @@ func run(o options) error {
 		EpochBytes:    o.epochBytesGB * 1e9,
 		EpochTick:     simtime.Duration(o.epochTickHours * float64(simtime.Hour)),
 		Workers:       o.workers,
-	})
-	lead := simtime.Duration(o.leadHours * float64(simtime.Hour))
-
-	// A reservation arrives `lead` before it starts (never before t=0);
-	// replay in arrival order.
-	type arrival struct {
-		at simtime.Time
-		r  workload.Request
-	}
-	trace := make([]arrival, len(reqs))
-	for i, r := range reqs {
-		at := r.Start.Add(-lead)
-		if at < 0 {
-			at = 0
-		}
-		trace[i] = arrival{at: at, r: r}
-	}
-	sort.Slice(trace, func(i, j int) bool {
-		if trace[i].at != trace[j].at {
-			return trace[i].at < trace[j].at
-		}
-		if trace[i].r.Start != trace[j].r.Start {
-			return trace[i].r.Start < trace[j].r.Start
-		}
-		return trace[i].r.User < trace[j].r.User
 	})
 
 	ctx := context.Background()
@@ -216,6 +239,77 @@ func run(o options) error {
 	}
 	if o.outPath != "" {
 		return cli.SaveJSON(o.outPath, svc.Committed())
+	}
+	return nil
+}
+
+// runRemote replays the trace against a running vspserve over HTTP. The
+// retryhttp loop absorbs transient faults: a shed request (429 +
+// Retry-After) or a brief outage is retried with jittered backoff instead
+// of aborting the replay. Epoch triggers come from the server's own
+// horizon configuration, so the local -epoch-* flags are ignored.
+func runRemote(o options, trace []arrival) error {
+	ctx := context.Background()
+	base := strings.TrimRight(o.serverURL, "/")
+	var retry retryhttp.Options
+	if !o.quiet {
+		fmt.Printf("replaying against %s\n", base)
+		fmt.Printf("%-6s %-10s %9s %9s %8s %8s %9s %12s %10s\n",
+			"epoch", "horizon", "admitted", "replanned", "frozenD", "frozenC", "victims", "cost", "elapsed")
+	}
+	var (
+		elapsed time.Duration
+		planned int
+		epochs  int
+	)
+	flush := func(to simtime.Time) error {
+		t0 := time.Now()
+		var res horizon.EpochResult
+		if err := retryhttp.PostJSON(ctx, retry, base+"/v1/advance", server.AdvanceRequest{To: to}, &res); err != nil {
+			return fmt.Errorf("advance to %v: %w", to, err)
+		}
+		dt := time.Since(t0)
+		elapsed += dt
+		planned += res.Admitted
+		epochs = res.Epoch + 1
+		if !o.quiet {
+			fmt.Printf("%-6d %-10v %9d %9d %8d %8d %9d %12v %10v\n",
+				res.Epoch, res.Horizon, res.Admitted, res.Replanned,
+				res.FrozenDeliveries, res.FrozenResidencies, len(res.Victims), res.Cost, dt.Round(time.Millisecond))
+		}
+		return nil
+	}
+	pending := 0
+	for _, a := range trace {
+		at := a.at
+		var ack server.ReservationResponse
+		err := retryhttp.PostJSON(ctx, retry, base+"/v1/reservations",
+			server.ReservationRequest{User: a.r.User, Video: a.r.Video, Start: a.r.Start, At: &at}, &ack)
+		if err != nil {
+			return fmt.Errorf("submit (user %d, video %d, %v): %w", a.r.User, a.r.Video, a.r.Start, err)
+		}
+		pending = ack.Pending
+		if ack.EpochDue {
+			if err := flush(a.at); err != nil {
+				return err
+			}
+			pending = 0
+		}
+	}
+	if pending > 0 {
+		if err := flush(trace[len(trace)-1].at); err != nil {
+			return err
+		}
+	}
+	var plan server.PlanResponse
+	if err := retryhttp.GetJSON(ctx, retry, base+"/v1/plan", &plan); err != nil {
+		return fmt.Errorf("fetch final plan: %w", err)
+	}
+	fmt.Printf("\nreservations      %d (planned %d over %d epochs)\n", len(trace), planned, epochs)
+	fmt.Printf("committed cost    %v\n", plan.Cost)
+	fmt.Printf("round-trip time   %v\n", elapsed.Round(time.Millisecond))
+	if o.outPath != "" {
+		return cli.SaveJSON(o.outPath, plan.Schedule)
 	}
 	return nil
 }

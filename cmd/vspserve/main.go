@@ -8,6 +8,12 @@
 // restart recovers the committed schedule — re-verified by the audit
 // bundle — instead of losing it.
 //
+// With -replicate-from the node runs as a warm standby: it ships the
+// primary's WAL into its own (ideally durable) horizon service, answers
+// 503 on GET /readyz until caught up, and can be promoted to primary with
+// POST /v1/replication/promote when the primary fails. Until promoted it
+// rejects stateful intake with the stale-leadership error.
+//
 // Usage:
 //
 //	vspserve -topo topo.json -catalog catalog.json -srate 5 -nrate 500 \
@@ -18,6 +24,12 @@
 //	curl -s localhost:8080/v1/topology
 //	curl -s -X POST localhost:8080/v1/schedule \
 //	     -d '{"requests":[{"User":0,"Video":3,"Start":3600}]}'
+//
+// Standby for the node above (same topology and catalog):
+//
+//	vspserve -topo topo.json -catalog catalog.json -addr :8081 \
+//	         -data-dir /var/lib/vsp-standby \
+//	         -replicate-from http://localhost:8080
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 
 	"github.com/vodsim/vsp/internal/cli"
 	"github.com/vodsim/vsp/internal/horizon"
+	"github.com/vodsim/vsp/internal/replica"
 	"github.com/vodsim/vsp/internal/server"
 	"github.com/vodsim/vsp/internal/wal"
 )
@@ -56,11 +69,24 @@ func main() {
 		fsyncEvery  = flag.Duration("fsync-interval", wal.DefaultSyncEvery, "max sync lag under -fsync interval")
 		snapEvery   = flag.Int("snapshot-every", horizon.DefaultSnapshotEvery, "journal compaction period in committed epochs (negative disables snapshots)")
 		maxInFlight = flag.Int("max-in-flight", server.DefaultMaxInFlight, "admission-control bound on concurrent requests; excess load is shed with 429 + Retry-After (negative disables)")
+		role        = flag.String("role", "primary", "serving role: primary or follower (forced to follower by -replicate-from)")
+		replFrom    = flag.String("replicate-from", "", "primary base URL to ship the WAL from; makes this node a warm standby")
+		replEvery   = flag.Duration("replicate-every", 0, "idle poll period of the WAL shipper (0 = default; a backlog drains continuously)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *catPath == "" {
 		fmt.Fprintln(os.Stderr, "vspserve: -topo and -catalog are required")
 		os.Exit(1)
+	}
+	nodeRole, err := replica.ParseRole(*role)
+	if err != nil {
+		log.Fatalf("vspserve: %v", err)
+	}
+	if nodeRole == replica.RolePrimary && *replFrom != "" {
+		// Not an error worth dying over, but worth being explicit about:
+		// shipping another node's WAL makes this node a follower.
+		nodeRole = replica.RoleFollower
+		log.Printf("vspserve: -replicate-from set; running as follower of %s", *replFrom)
 	}
 	fsyncPolicy, err := wal.ParseFsyncPolicy(*fsync)
 	if err != nil {
@@ -80,6 +106,9 @@ func main() {
 		Workers:        *workers,
 		DataDir:        *dataDir,
 		MaxInFlight:    *maxInFlight,
+		Role:           nodeRole,
+		ReplicateFrom:  *replFrom,
+		ReplicateEvery: *replEvery,
 		Horizon: horizon.Config{
 			Workers:       *workers,
 			Fsync:         fsyncPolicy,
@@ -92,10 +121,19 @@ func main() {
 	}
 	if *dataDir != "" {
 		if st := api.Recovery(); st.Recovered {
-			log.Printf("vspserve: recovered durable state from %s (snapshot=%v, replayed %d submits + %d advances, torn tail=%v)",
-				*dataDir, st.SnapshotLoaded, st.ReplayedSubmits, st.ReplayedAdvances, st.TailTruncated)
+			log.Printf("vspserve: recovered durable state from %s (snapshot=%v, replayed %d submits + %d advances)",
+				*dataDir, st.SnapshotLoaded, st.ReplayedSubmits, st.ReplayedAdvances)
 		} else {
 			log.Printf("vspserve: durable intake journaling to %s (fsync=%s)", *dataDir, fsyncPolicy)
+		}
+		if st := api.Recovery(); st.TailTruncated {
+			// A torn tail means the process died mid-append; the discarded
+			// suffix was never acknowledged, so no accepted reservation was
+			// lost — but the operator should know the crash was mid-write.
+			// The count is also exported as recovery.tail_truncations in
+			// GET /v1/stats.
+			log.Printf("vspserve: WARNING: journal tail was torn mid-record and truncated on recovery (%d truncation(s) this recovery); the partial record was never acknowledged",
+				st.TailTruncations)
 		}
 	}
 	srv := &http.Server{
@@ -108,6 +146,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *replFrom != "" {
+		api.StartReplication(ctx)
+		log.Printf("vspserve: shipping WAL from %s (GET /readyz reports catch-up; promote with POST /v1/replication/promote)", *replFrom)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

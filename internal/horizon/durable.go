@@ -80,6 +80,11 @@ type RecoveryStats struct {
 	// TailTruncated is true when the journal ended mid-record (a torn
 	// crash write) and the torn bytes were discarded.
 	TailTruncated bool `json:"tail_truncated"`
+	// TailTruncations counts torn-tail truncations observed when the
+	// journal was opened. Operationally it should stay at 0 or 1 per
+	// process life; exported so monitoring can see silent torn-tail
+	// repair instead of it living only in a startup log line.
+	TailTruncations int `json:"tail_truncations"`
 	// SnapshotFailures counts snapshot writes that failed since open.
 	// The journal is left un-compacted on failure, so durability is
 	// unaffected; a growing count means the data directory needs care.
@@ -120,46 +125,42 @@ func Recover(dir string, m *cost.Model, cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("horizon: recover %s: %w", dir, err)
 	}
 	s.recovery.TailTruncated = tail == wal.TailTruncated
+	if s.recovery.TailTruncated {
+		s.recovery.TailTruncations++
+	}
 
-	// Replay the journal tail. The journal is attached only afterwards,
-	// so replayed operations are not re-journaled and never snapshot.
+	// Replay the journal tail through the same applyPayloadLocked entry
+	// point the replication applier uses. The journal is attached only
+	// afterwards, so replayed operations are not re-journaled and never
+	// snapshot.
+	s.mu.Lock()
 	for i, rec := range recs {
 		if rec.Seq <= snapSeq {
 			continue // compacted into the snapshot; left by a crash before Reset
 		}
-		var op walOp
-		if err := json.Unmarshal(rec.Payload, &op); err != nil {
-			log.Close()
-			return nil, fmt.Errorf("horizon: recover %s: record %d undecodable: %w", dir, i, err)
-		}
+		op, err := s.applyPayloadLocked(context.Background(), rec.Payload)
 		switch op.Op {
 		case opSubmit:
-			_, err = s.Submit(op.At, workload.Request{User: op.User, Video: op.Video, Start: op.Start})
 			s.recovery.ReplayedSubmits++
 		case opAdvance:
-			_, err = s.Advance(context.Background(), op.To)
 			s.recovery.ReplayedAdvances++
-		default:
-			err = fmt.Errorf("unknown op %q", op.Op)
 		}
 		if err != nil {
+			s.mu.Unlock()
 			log.Close()
-			return nil, fmt.Errorf("horizon: recover %s: replay record %d (%s): %w", dir, i, op.Op, err)
+			return nil, fmt.Errorf("horizon: recover %s: replay record %d: %w", dir, i, err)
 		}
 	}
 	s.recovery.Recovered = haveSnap || s.recovery.ReplayedSubmits > 0 || s.recovery.ReplayedAdvances > 0
 
 	// Audit the reconstructed schedule against the reservations it claims
-	// to serve (everything accepted minus the still-pending intake, which
-	// is planned only at the next Advance). Refusing to start beats
-	// serving a committed schedule the infrastructure cannot execute.
-	planned := s.accepted[:len(s.accepted)-len(s.pending)]
-	if len(planned) > 0 || len(s.committed.Files) > 0 {
-		if rep := audit.Run(m, s.committed, planned); !rep.OK() {
-			log.Close()
-			return nil, fmt.Errorf("horizon: recover %s: recovered state fails audit: %s (%d finding(s))",
-				dir, rep.Findings[0], len(rep.Findings))
-		}
+	// to serve. Refusing to start beats serving a committed schedule the
+	// infrastructure cannot execute.
+	err = s.verifyCommittedLocked()
+	s.mu.Unlock()
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("horizon: recover %s: recovered state fails audit: %w", dir, err)
 	}
 
 	log.EnsureSeqAbove(snapSeq)
@@ -198,6 +199,59 @@ func (s *Service) Close() error {
 	err := s.journal.Close()
 	s.journal = nil
 	return err
+}
+
+// applyPayloadLocked decodes one journal payload and re-executes it
+// through the ordinary locked intake paths. It is the single replay
+// entry point: crash recovery (Recover) and the replication applier
+// (ApplyReplicated) both feed records through it, so a follower's state
+// is reconstructed by exactly the machinery the primary's recovery is
+// already proven on. Callers hold s.mu. The decoded operation is
+// returned even on failure so callers can attribute the error.
+func (s *Service) applyPayloadLocked(ctx context.Context, payload []byte) (walOp, error) {
+	var op walOp
+	if err := json.Unmarshal(payload, &op); err != nil {
+		return op, fmt.Errorf("undecodable operation: %w", err)
+	}
+	var err error
+	switch op.Op {
+	case opSubmit:
+		_, err = s.submitLocked(op.At, workload.Request{User: op.User, Video: op.Video, Start: op.Start})
+	case opAdvance:
+		_, err = s.advanceLocked(ctx, op.To)
+	default:
+		err = fmt.Errorf("unknown op %q", op.Op)
+	}
+	if err != nil {
+		return op, fmt.Errorf("apply %s: %w", op.Op, err)
+	}
+	return op, nil
+}
+
+// verifyCommittedLocked runs the full audit bundle (validation,
+// capacity, simulation with cost agreement, billing) over the committed
+// schedule against the reservations it claims to serve — everything
+// accepted minus the still-pending intake, which is planned only at the
+// next Advance. Callers hold s.mu.
+func (s *Service) verifyCommittedLocked() error {
+	planned := s.accepted[:len(s.accepted)-len(s.pending)]
+	if len(planned) == 0 && len(s.committed.Files) == 0 {
+		return nil
+	}
+	if rep := audit.Run(s.m, s.committed, planned); !rep.OK() {
+		return fmt.Errorf("%s (%d finding(s))", rep.Findings[0], len(rep.Findings))
+	}
+	return nil
+}
+
+// VerifyCommitted re-runs the audit bundle over the live committed
+// schedule. Failover promotion calls it before a caught-up follower
+// starts accepting traffic, mirroring the re-verification Recover
+// performs before serving recovered state.
+func (s *Service) VerifyCommitted() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verifyCommittedLocked()
 }
 
 // journalOp appends one operation record; callers hold s.mu.

@@ -229,6 +229,14 @@ func (s *Service) Accepted() workload.Set {
 func (s *Service) Submit(at simtime.Time, r workload.Request) (Ack, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.submitLocked(at, r)
+}
+
+// submitLocked is Submit's body; callers hold s.mu. It is the single
+// intake path: live submissions, crash-recovery replay and the
+// replication applier all come through here, which is what makes replay
+// deterministic.
+func (s *Service) submitLocked(at simtime.Time, r workload.Request) (Ack, error) {
 	if int(r.Video) < 0 || int(r.Video) >= s.m.Catalog().Len() {
 		return Ack{}, fmt.Errorf("horizon: unknown video %d", r.Video)
 	}
@@ -273,6 +281,12 @@ func (s *Service) Submit(at simtime.Time, r workload.Request) (Ack, error) {
 func (s *Service) Advance(ctx context.Context, to simtime.Time) (*EpochResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.advanceLocked(ctx, to)
+}
+
+// advanceLocked is Advance's body; callers hold s.mu. Like submitLocked
+// it is shared by live traffic, recovery replay and replication apply.
+func (s *Service) advanceLocked(ctx context.Context, to simtime.Time) (*EpochResult, error) {
 	if to < s.horizon {
 		return nil, fmt.Errorf("horizon: cannot move horizon backwards from %v to %v", s.horizon, to)
 	}

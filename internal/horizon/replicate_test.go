@@ -1,0 +1,232 @@
+package horizon_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/horizon"
+	"github.com/vodsim/vsp/internal/wal"
+)
+
+// shipAll pulls primary's tail into follower until caught up, returning
+// the number of records and snapshots applied.
+func shipAll(t *testing.T, primary, follower *horizon.Service) (records, snapshots int) {
+	t.Helper()
+	ctx := context.Background()
+	for {
+		tail, err := primary.TailAfter(follower.AppliedSeq(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tail.Snapshot != nil {
+			if err := follower.InstallSnapshot(tail.SnapshotSeq, tail.Snapshot); err != nil {
+				t.Fatal(err)
+			}
+			snapshots++
+			continue
+		}
+		if len(tail.Records) == 0 {
+			return records, snapshots
+		}
+		for _, rec := range tail.Records {
+			ok, err := follower.ApplyReplicated(ctx, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				records++
+			}
+		}
+	}
+}
+
+func TestTailAfterRequiresDurability(t *testing.T) {
+	r := rig(t, durableParams())
+	svc := horizon.New(r.Model, horizon.Config{})
+	if _, err := svc.TailAfter(0, 0); !errors.Is(err, horizon.ErrNotDurable) {
+		t.Fatalf("in-memory TailAfter: %v, want ErrNotDurable", err)
+	}
+}
+
+// A follower fed record-by-record through ApplyReplicated converges to
+// the primary's exact state, assigning identical sequence numbers to its
+// own journal.
+func TestReplicatedApplyConverges(t *testing.T) {
+	r := rig(t, durableParams())
+	cfg := horizon.Config{SnapshotEvery: -1, Fsync: wal.FsyncNever}
+	primary, err := horizon.Recover(t.TempDir(), r.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	follower, err := horizon.Recover(t.TempDir(), r.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	for _, op := range script(r, 3) {
+		applyOp(t, primary, op)
+	}
+	recs, snaps := shipAll(t, primary, follower)
+	if snaps != 0 {
+		t.Fatalf("snapshot shipped with compaction disabled (%d)", snaps)
+	}
+	if recs == 0 {
+		t.Fatal("no records shipped")
+	}
+	if got, want := follower.AppliedSeq(), primary.AppliedSeq(); got != want {
+		t.Fatalf("follower applied seq %d, primary %d", got, want)
+	}
+	if got, want := fingerprint(t, follower), fingerprint(t, primary); got != want {
+		t.Fatalf("replicated state diverged:\n got %.200s...\nwant %.200s...", got, want)
+	}
+}
+
+// Duplicated deliveries are skipped by sequence; gaps are refused.
+func TestApplyReplicatedIdempotencyAndGaps(t *testing.T) {
+	r := rig(t, durableParams())
+	cfg := horizon.Config{SnapshotEvery: -1, Fsync: wal.FsyncNever}
+	primary, err := horizon.Recover(t.TempDir(), r.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	follower, err := horizon.Recover(t.TempDir(), r.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	ops := script(r, 3)
+	for _, op := range ops {
+		applyOp(t, primary, op)
+	}
+	tail, err := primary.TailAfter(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A gap — record 2 before record 1 — must be refused.
+	if _, err := follower.ApplyReplicated(ctx, tail.Records[1]); err == nil {
+		t.Fatal("gap accepted")
+	} else if !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap refusal does not name the gap: %v", err)
+	}
+
+	// Every record applied twice: the duplicate must report not-applied
+	// and leave the state identical.
+	for _, rec := range tail.Records {
+		ok, err := follower.ApplyReplicated(ctx, rec)
+		if err != nil || !ok {
+			t.Fatalf("first apply of seq %d: ok=%v err=%v", rec.Seq, ok, err)
+		}
+		before := fingerprint(t, follower)
+		ok, err = follower.ApplyReplicated(ctx, rec)
+		if err != nil || ok {
+			t.Fatalf("duplicate apply of seq %d: ok=%v err=%v, want skipped", rec.Seq, ok, err)
+		}
+		if after := fingerprint(t, follower); after != before {
+			t.Fatalf("duplicate apply of seq %d mutated state", rec.Seq)
+		}
+	}
+	if got, want := fingerprint(t, follower), fingerprint(t, primary); got != want {
+		t.Fatal("state diverged after duplicated deliveries")
+	}
+}
+
+// When compaction has folded the requested records into a snapshot, the
+// tail arrives as a full-state snapshot instead, and installing it brings
+// a fresh follower to the primary's exact state.
+func TestSnapshotShippingAfterCompaction(t *testing.T) {
+	r := rig(t, durableParams())
+	cfg := horizon.Config{SnapshotEvery: 1, Fsync: wal.FsyncNever}
+	primary, err := horizon.Recover(t.TempDir(), r.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	ops := script(r, 3)
+	for _, op := range ops {
+		applyOp(t, primary, op)
+	}
+	tail, err := primary.TailAfter(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.Snapshot == nil {
+		t.Fatal("compacted journal still served records from seq 0")
+	}
+	if tail.SnapshotSeq != primary.AppliedSeq() {
+		t.Fatalf("snapshot at seq %d, primary at %d", tail.SnapshotSeq, primary.AppliedSeq())
+	}
+
+	followerDir := t.TempDir()
+	follower, err := horizon.Recover(followerDir, r.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, snaps := shipAll(t, primary, follower); snaps != 1 {
+		t.Fatalf("%d snapshots installed, want 1", snaps)
+	}
+	if got, want := fingerprint(t, follower), fingerprint(t, primary); got != want {
+		t.Fatal("snapshot-installed state diverged from primary")
+	}
+
+	// The install is durable: a restart recovers the same state and seq.
+	want := fingerprint(t, follower)
+	seq := follower.AppliedSeq()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := horizon.Recover(followerDir, r.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.AppliedSeq() != seq {
+		t.Fatalf("restart lost applied seq: %d, want %d", re.AppliedSeq(), seq)
+	}
+	if got := fingerprint(t, re); got != want {
+		t.Fatal("restart after snapshot install diverged")
+	}
+}
+
+// A snapshot that does not advance the applied sequence, or whose state
+// fails the audit, must be rejected without touching live state.
+func TestInstallSnapshotRejections(t *testing.T) {
+	r := rig(t, durableParams())
+	cfg := horizon.Config{SnapshotEvery: -1, Fsync: wal.FsyncNever}
+	primary, err := horizon.Recover(t.TempDir(), r.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	for _, op := range script(r, 2) {
+		applyOp(t, primary, op)
+	}
+
+	follower, err := horizon.Recover(t.TempDir(), r.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	shipAll(t, primary, follower)
+	before := fingerprint(t, follower)
+
+	// Stale: the follower is already past seq 1.
+	if err := follower.InstallSnapshot(1, []byte(`{}`)); err == nil {
+		t.Fatal("stale snapshot accepted")
+	}
+	// Undecodable state.
+	if err := follower.InstallSnapshot(follower.AppliedSeq()+1, []byte(`{"`)); err == nil {
+		t.Fatal("undecodable snapshot accepted")
+	}
+	if got := fingerprint(t, follower); got != before {
+		t.Fatal("rejected snapshot mutated live state")
+	}
+}

@@ -1,0 +1,240 @@
+// Package retryhttp is a small retrying HTTP client helper for the
+// service's internal control-plane calls: WAL shipping, fencing, and the
+// remote-intake drivers. It retries transient failures — connection
+// errors, 429, and the retryable 5xx family — with jittered exponential
+// backoff, honors Retry-After when the server names its own back-off,
+// and respects context cancellation at every wait.
+//
+// It deliberately does not retry on other statuses: a 400 or 409 is a
+// protocol answer (a stale leadership epoch, a late arrival), not a
+// transient fault, and the caller must see it.
+package retryhttp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Defaults for the zero Options value.
+const (
+	DefaultMaxAttempts = 5
+	DefaultBaseDelay   = 50 * time.Millisecond
+	DefaultMaxDelay    = 2 * time.Second
+)
+
+// Options tunes the retry loop. The zero value is usable.
+type Options struct {
+	// Client issues the requests (default http.DefaultClient).
+	Client *http.Client
+	// MaxAttempts bounds the total number of tries (default
+	// DefaultMaxAttempts; 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the first back-off (default DefaultBaseDelay); each
+	// retry doubles it, jittered to a uniform value in [d/2, d).
+	BaseDelay time.Duration
+	// MaxDelay caps the back-off, including server-supplied Retry-After
+	// values (default DefaultMaxDelay).
+	MaxDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = DefaultBaseDelay
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = DefaultMaxDelay
+	}
+	return o
+}
+
+// retryableStatus reports whether a response status signals a transient
+// condition worth retrying: explicit back-pressure (429) or the gateway /
+// availability 5xx family. 500 itself is excluded — the repo's handlers
+// use it for deterministic internal failures that a retry only repeats.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Do issues the request produced by newReq, retrying transient failures.
+// newReq is called once per attempt so each try gets a fresh body. The
+// returned response is the terminal one — a success, a non-retryable
+// status, or the last retryable status once attempts are exhausted — and
+// the caller owns its body. A non-nil error means no response was
+// obtained at all (every attempt failed at the transport layer, or the
+// context expired).
+func Do(ctx context.Context, opts Options, newReq func() (*http.Request, error)) (*http.Response, error) {
+	opts = opts.withDefaults()
+	delay := opts.BaseDelay
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		req, err := newReq()
+		if err != nil {
+			return nil, fmt.Errorf("retryhttp: build request: %w", err)
+		}
+		resp, err := opts.Client.Do(req.WithContext(ctx))
+		switch {
+		case err != nil:
+			lastErr = err
+		case !retryableStatus(resp.StatusCode) || attempt == opts.MaxAttempts:
+			return resp, nil
+		default:
+			// Retryable status: honor Retry-After if present, then retry.
+			wait := retryAfter(resp, delay, opts.MaxDelay)
+			drain(resp)
+			if err := sleep(ctx, wait); err != nil {
+				return nil, err
+			}
+			delay = nextDelay(delay, opts.MaxDelay)
+			continue
+		}
+		if attempt == opts.MaxAttempts {
+			return nil, fmt.Errorf("retryhttp: %d attempts failed: %w", attempt, lastErr)
+		}
+		if err := sleep(ctx, jitter(delay)); err != nil {
+			return nil, err
+		}
+		delay = nextDelay(delay, opts.MaxDelay)
+	}
+}
+
+// jitter spreads a delay uniformly over [d/2, d) so synchronized clients
+// desynchronize instead of retrying in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+func nextDelay(d, max time.Duration) time.Duration {
+	d *= 2
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// retryAfter extracts a Retry-After delay (delta-seconds form; the
+// HTTP-date form is rare and falls back to the computed back-off),
+// capped at max.
+func retryAfter(resp *http.Response, fallback, max time.Duration) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return jitter(fallback)
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return jitter(fallback)
+	}
+	d := time.Duration(secs) * time.Second
+	if d > max {
+		return max
+	}
+	return d
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// StatusError reports a terminal non-2xx reply from a JSON endpoint.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("retryhttp: status %d: %s", e.Code, e.Message)
+}
+
+// GetJSON GETs url and decodes a 2xx JSON body into out (which may be
+// nil to discard). Non-2xx replies become a *StatusError carrying the
+// body's "error" field when present.
+func GetJSON(ctx context.Context, opts Options, url string, out any) error {
+	return doJSON(ctx, opts, http.MethodGet, url, nil, out)
+}
+
+// PostJSON POSTs in (JSON-encoded; nil for an empty body) to url and
+// decodes a 2xx JSON reply into out.
+func PostJSON(ctx context.Context, opts Options, url string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("retryhttp: encode body: %w", err)
+		}
+	}
+	return doJSON(ctx, opts, http.MethodPost, url, body, out)
+}
+
+func doJSON(ctx context.Context, opts Options, method, url string, body []byte, out any) error {
+	resp, err := Do(ctx, opts, func() (*http.Request, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, nil
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		drain(resp)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("retryhttp: decode %s %s reply: %w", method, url, err)
+	}
+	return nil
+}

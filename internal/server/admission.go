@@ -46,7 +46,11 @@ func (l *limiter) Capacity() int { return cap(l.slots) }
 
 func (l *limiter) wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method == http.MethodGet && r.URL.Path == "/healthz" {
+		// Liveness and readiness probes bypass admission control: a load
+		// balancer must get an answer precisely when the server is
+		// saturated, and a readiness 503 under overload would eject a
+		// perfectly serviceable node from rotation.
+		if r.Method == http.MethodGet && (r.URL.Path == "/healthz" || r.URL.Path == "/readyz") {
 			next.ServeHTTP(w, r)
 			return
 		}

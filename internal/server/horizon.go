@@ -43,6 +43,12 @@ type ReservationResponse struct {
 }
 
 func (s *Server) handleReservation(w http.ResponseWriter, r *http.Request) {
+	// Fencing: only the leader may accept reservations — a fenced
+	// ex-primary or a follower answers with the stale-leadership error
+	// so two nodes never both grow the journal.
+	if !s.checkLeader(w) {
+		return
+	}
 	var req ReservationRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -99,6 +105,9 @@ type AdvanceRequest struct {
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if !s.checkLeader(w) {
+		return
+	}
 	var req AdvanceRequest
 	if !decodeBody(w, r, &req) {
 		return

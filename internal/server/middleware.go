@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/vodsim/vsp/internal/horizon"
+	"github.com/vodsim/vsp/internal/replica"
 )
 
 // Options tunes the hardening middleware around the API handlers.
@@ -44,6 +45,19 @@ type Options struct {
 	// QueueWait bounds how long a queued request waits for a slot before
 	// being shed (0 = DefaultQueueWait).
 	QueueWait time.Duration
+	// Role is the node's serving role (default RolePrimary). Followers
+	// reject stateful intake with the stale-leadership error until
+	// promoted via POST /v1/replication/promote.
+	Role replica.Role
+	// ReplicateFrom is a primary's base URL; setting it makes the node a
+	// follower that ships the primary's WAL into its own horizon service
+	// once StartReplication is called. Combine with DataDir so the
+	// applied position survives a follower restart.
+	ReplicateFrom string
+	// ReplicateEvery is the shipper's poll period when idle (0 =
+	// replica.DefaultInterval); a backlogged follower drains
+	// continuously regardless.
+	ReplicateEvery time.Duration
 }
 
 const (

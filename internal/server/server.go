@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"github.com/vodsim/vsp/internal/analysis"
 	"github.com/vodsim/vsp/internal/billing"
@@ -25,6 +26,7 @@ import (
 	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/ivs"
 	"github.com/vodsim/vsp/internal/repair"
+	"github.com/vodsim/vsp/internal/replica"
 	"github.com/vodsim/vsp/internal/schedule"
 	"github.com/vodsim/vsp/internal/scheduler"
 	"github.com/vodsim/vsp/internal/simtime"
@@ -45,6 +47,16 @@ type Server struct {
 	limiter *limiter
 	mux     *http.ServeMux
 	handler http.Handler
+
+	// Replication & failover (see replication.go). lead is always set;
+	// shipper only on followers built with Options.ReplicateFrom.
+	lead    *replica.Leadership
+	shipper *replica.Shipper
+
+	replMu     sync.Mutex
+	replCtx    context.Context
+	replCancel context.CancelFunc
+	replDone   chan struct{}
 }
 
 // New builds a server around a cost model with default hardening and an
@@ -74,16 +86,37 @@ func NewWithOptions(model *cost.Model, opts Options) (*Server, error) {
 	} else {
 		hz = horizon.New(model, opts.Horizon)
 	}
+	role := opts.Role
+	if opts.ReplicateFrom != "" {
+		// A node shipping another's WAL is a follower by definition.
+		role = replica.RoleFollower
+	}
+	var epoch uint64
+	if role == replica.RolePrimary {
+		epoch = 1
+	}
 	s := &Server{
 		model:   model,
 		horizon: hz,
 		workers: opts.Workers,
 		mux:     http.NewServeMux(),
+		lead:    replica.NewLeadership(role, epoch),
+	}
+	if opts.ReplicateFrom != "" {
+		s.shipper = replica.NewShipper(hz, s.lead, replica.ShipperConfig{
+			Source:   opts.ReplicateFrom,
+			Interval: opts.ReplicateEvery,
+		})
 	}
 	if opts.MaxInFlight > 0 {
 		s.limiter = newLimiter(opts.MaxInFlight, opts.MaxQueue, opts.QueueWait)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /v1/replication/wal", s.handleReplWAL)
+	s.mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
+	s.mux.HandleFunc("POST /v1/replication/fence", s.handleFence)
+	s.mux.HandleFunc("POST /v1/replication/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /v1/topology", s.handleTopology)
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -104,9 +137,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 // (zero for in-memory servers).
 func (s *Server) Recovery() horizon.RecoveryStats { return s.horizon.Recovery() }
 
-// Close flushes and closes the horizon journal (no-op without DataDir).
-// Call it after the HTTP server has drained.
-func (s *Server) Close() error { return s.horizon.Close() }
+// Close stops background replication, then flushes and closes the
+// horizon journal (no-op without DataDir). Call it after the HTTP
+// server has drained.
+func (s *Server) Close() error {
+	s.stopReplication()
+	return s.horizon.Close()
+}
 
 // decodeBody decodes a JSON request body into v, writing the error reply
 // itself on failure: 413 when the hardening body cap was hit, 400 for any
@@ -147,6 +184,10 @@ type StatsResponse struct {
 	Horizon  HorizonStats          `json:"horizon"`
 	Overload OverloadStats         `json:"overload"`
 	Recovery horizon.RecoveryStats `json:"recovery"`
+	// Replication reports the node's role, leadership epoch, applied
+	// sequence and (on followers) shipping lag; Ready mirrors /readyz.
+	Replication replica.Status `json:"replication"`
+	Ready       bool           `json:"ready"`
 }
 
 // HorizonStats is the rolling-horizon service's live state.
@@ -176,6 +217,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			MaxInFlight: s.limiter.Capacity(),
 		}
 	}
+	repl, ready := s.replStatus()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Topology: s.model.Book().Topology().ComputeStats(),
 		Titles:   s.model.Catalog().Len(),
@@ -187,8 +229,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			CommittedCost: s.horizon.Cost(),
 			Durable:       s.horizon.Durable(),
 		},
-		Overload: ov,
-		Recovery: s.horizon.Recovery(),
+		Overload:    ov,
+		Recovery:    s.horizon.Recovery(),
+		Replication: repl,
+		Ready:       ready,
 	})
 }
 
