@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test vet bench bench-json race soak cover fuzz figures results examples failover-demo clean
+.PHONY: all build test vet bench bench-json bench-smoke race soak cover fuzz figures results examples failover-demo clean
 
 all: build vet test
 
@@ -38,15 +38,27 @@ bench:
 
 # Machine-readable scheduler benchmark record (ns/op, allocs/op for the
 # one-shot solver and the rolling-horizon incremental extension, plus
-# their speedup ratio). The second run exercises the parallel phase-1
-# fan-out at -cpu 1,4 so benchjson can derive phase1_parallel_speedup.
+# their speedup ratio). The later runs exercise the parallel fan-out at
+# -cpu 1,4 — both the isolated phase 1 and the full 10k-request solve —
+# so benchjson can derive phase1_parallel_speedup from the matched pair.
 # Committed as BENCH_scheduler.json.
 bench-json:
 	( $(GO) test -run='^$$' -bench='BenchmarkSchedule$$|BenchmarkHorizonAdvance$$|BenchmarkFullResolve$$' \
 		-benchmem ./internal/scheduler ./internal/horizon ; \
 	  $(GO) test -run='^$$' -bench='BenchmarkSchedulePhase1$$' -cpu 1,4 \
-		-benchmem ./internal/scheduler ) \
+		-benchmem ./internal/scheduler ; \
+	  $(GO) test -run='^$$' -bench='BenchmarkSchedule10k$$' -cpu 1,4 -benchtime=1x \
+		-timeout=60m -benchmem ./internal/scheduler ) \
 		| $(GO) run ./cmd/benchjson -out BENCH_scheduler.json
+
+# Quick regression smoke for CI: a short BenchmarkSchedule run (best of
+# 3 single iterations) must stay within 2x of the committed
+# BENCH_scheduler.json baseline. Catches order-of-magnitude hot-path
+# regressions without the cost or noise-sensitivity of a full bench run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkSchedule$$' -short -benchtime=1x -count=3 \
+		./internal/scheduler \
+		| $(GO) run ./cmd/benchjson -check BENCH_scheduler.json -max-ratio 2
 
 # Regenerate every paper figure/table as text (see EXPERIMENTS.md).
 results: build

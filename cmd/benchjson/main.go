@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -55,11 +56,34 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
+	check := flag.String("check", "", "baseline JSON (a previous benchjson report) to compare against; exit nonzero on regression")
+	maxRatio := flag.Float64("max-ratio", 2, "with -check: maximum allowed ns/op ratio current/baseline")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse baseline %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		lines, err := compare(&base, rep, *maxRatio)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -104,31 +128,118 @@ func parse(r io.Reader) (*Report, error) {
 	if len(rep.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
-	var horizon, full float64
-	var p1seq, p1par float64
-	maxCPU := 0
-	for _, b := range rep.Benchmarks {
-		switch b.Name {
-		case "BenchmarkHorizonAdvance":
-			horizon = b.NsPerOp
-		case "BenchmarkFullResolve":
-			full = b.NsPerOp
-		case "BenchmarkSchedulePhase1":
-			if b.CPU <= 1 {
-				p1seq = b.NsPerOp
-			} else if b.CPU > maxCPU {
-				maxCPU = b.CPU
-				p1par = b.NsPerOp
+	idx := indexBenchmarks(rep.Benchmarks)
+	// Both derived ratios compare runs matched at the same GOMAXPROCS:
+	// dividing a -cpu 1 numerator by a -cpu 4 denominator (or vice versa)
+	// would fold the parallel fan-out into a ratio that is supposed to
+	// measure something else.
+	if h, f, ok := pairAtSameCPU(idx, "BenchmarkHorizonAdvance", "BenchmarkFullResolve"); ok && h > 0 {
+		rep.HorizonSpeedup = f / h
+	}
+	if seq, ok := idx[benchKey{"BenchmarkSchedulePhase1", 1}]; ok && seq.NsPerOp > 0 {
+		parCPU, par := 1, 0.0
+		for k, b := range idx {
+			if k.name == "BenchmarkSchedulePhase1" && k.cpu > parCPU {
+				parCPU, par = k.cpu, b.NsPerOp
+			}
+		}
+		if parCPU > 1 && par > 0 {
+			rep.Phase1ParallelSpeedup = seq.NsPerOp / par
+		}
+	}
+	return rep, nil
+}
+
+// benchKey identifies one benchmark configuration. Results are keyed by
+// (name, cpu), never by name alone: a `-cpu 1,4` run emits two lines for
+// the same benchmark, and a name-only key would let one overwrite the
+// other and derive phase1_parallel_speedup from an arbitrary pair.
+type benchKey struct {
+	name string
+	cpu  int
+}
+
+// indexBenchmarks builds the (name, cpu) index the derived ratios read.
+// A suffix-free line (GOMAXPROCS=1) keys as cpu 1. When the input holds
+// several runs of one configuration (-count>1), the fastest wins — the
+// slower runs carry scheduling noise, not information.
+func indexBenchmarks(bs []Benchmark) map[benchKey]Benchmark {
+	idx := make(map[benchKey]Benchmark, len(bs))
+	for _, b := range bs {
+		k := benchKey{b.Name, b.CPU}
+		if k.cpu == 0 {
+			k.cpu = 1
+		}
+		if prev, ok := idx[k]; !ok || b.NsPerOp < prev.NsPerOp {
+			idx[k] = b
+		}
+	}
+	return idx
+}
+
+// compare checks every benchmark configuration present in both the
+// baseline and the current report, and returns an error if any current
+// ns/op exceeds maxRatio times its baseline. This backs the CI bench
+// smoke: a quick `-benchtime=1x -count=3` run whose fastest iteration
+// (indexBenchmarks keeps the fastest per configuration) must stay within
+// the ratio of the committed BENCH_scheduler.json. Configurations only
+// one side measured are ignored — the smoke runs a subset of the full
+// bench suite.
+func compare(base, cur *Report, maxRatio float64) ([]string, error) {
+	bi, ci := indexBenchmarks(base.Benchmarks), indexBenchmarks(cur.Benchmarks)
+	keys := make([]benchKey, 0, len(ci))
+	for k := range ci {
+		if _, ok := bi[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].cpu < keys[j].cpu
+	})
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("no benchmark in the input matches the baseline")
+	}
+	var lines []string
+	var regressed []string
+	for _, k := range keys {
+		b, c := bi[k], ci[k]
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > maxRatio {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s-%d", k.name, k.cpu))
+		}
+		lines = append(lines, fmt.Sprintf("%s (cpu=%d): %.0f ns/op vs baseline %.0f (%.2fx, limit %.2fx) %s",
+			k.name, k.cpu, c.NsPerOp, b.NsPerOp, ratio, maxRatio, verdict))
+	}
+	if len(regressed) > 0 {
+		return lines, fmt.Errorf("benchmark regression beyond %.2fx: %s", maxRatio, strings.Join(regressed, ", "))
+	}
+	return lines, nil
+}
+
+// pairAtSameCPU returns the ns/op of benchmarks a and b measured at the
+// same GOMAXPROCS, preferring the highest cpu at which both ran. ok is
+// false when no common cpu exists.
+func pairAtSameCPU(idx map[benchKey]Benchmark, a, b string) (na, nb float64, ok bool) {
+	best := 0
+	for k := range idx {
+		if k.name == a && k.cpu > best {
+			if _, found := idx[benchKey{b, k.cpu}]; found {
+				best = k.cpu
 			}
 		}
 	}
-	if horizon > 0 && full > 0 {
-		rep.HorizonSpeedup = full / horizon
+	if best == 0 {
+		return 0, 0, false
 	}
-	if p1seq > 0 && p1par > 0 {
-		rep.Phase1ParallelSpeedup = p1seq / p1par
-	}
-	return rep, nil
+	return idx[benchKey{a, best}].NsPerOp, idx[benchKey{b, best}].NsPerOp, true
 }
 
 // parseLine parses one `go test -bench` result line:

@@ -63,6 +63,92 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// Regression: with -count>1 the same (name, cpu) configuration repeats,
+// and with -cpu 1,4 one name spans two configurations. Keying by name
+// alone let a later line clobber an earlier one and paired the speedup
+// from whichever lines happened to survive. The ratio must come from the
+// fastest run of each matched (name, cpu) pair.
+func TestPhase1SpeedupFromMatchedPair(t *testing.T) {
+	const in = `goos: linux
+BenchmarkSchedulePhase1               5         100000000 ns/op
+BenchmarkSchedulePhase1-4            18          25000000 ns/op
+BenchmarkSchedulePhase1               5         110000000 ns/op
+BenchmarkSchedulePhase1-4            16          26000000 ns/op
+PASS
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want all 4 kept", len(rep.Benchmarks))
+	}
+	// Fastest cpu=1 run (100ms) over fastest cpu=4 run (25ms): exactly 4.
+	if want := 4.0; math.Abs(rep.Phase1ParallelSpeedup-want) > 1e-9 {
+		t.Fatalf("phase-1 speedup = %v, want %v", rep.Phase1ParallelSpeedup, want)
+	}
+}
+
+// A parallel-only input (no cpu=1 leg) has no matched pair: emitting a
+// speedup would be fabricating the sequential baseline.
+func TestPhase1SpeedupNeedsBothLegs(t *testing.T) {
+	const in = `BenchmarkSchedulePhase1-4            18          25000000 ns/op
+PASS
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Phase1ParallelSpeedup != 0 {
+		t.Fatalf("speedup %v derived without a sequential leg", rep.Phase1ParallelSpeedup)
+	}
+}
+
+// The horizon ratio must also pair at one GOMAXPROCS: given FullResolve
+// at cpus 1 and 8 but HorizonAdvance only at 8, the cpu-8 pair is the
+// match — mixing the cpu-1 FullResolve in would inflate the ratio.
+func TestHorizonSpeedupMatchesCPU(t *testing.T) {
+	const in = `BenchmarkHorizonAdvance-8             36          31000000 ns/op
+BenchmarkFullResolve                   1        9000000000 ns/op
+BenchmarkFullResolve-8                 1        3100000000 ns/op
+PASS
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100.0; math.Abs(rep.HorizonSpeedup-want) > 1e-9 {
+		t.Fatalf("horizon speedup = %v, want %v (the cpu-8 pair)", rep.HorizonSpeedup, want)
+	}
+}
+
+// The -check mode compares only configurations both reports measured,
+// judges each by the fastest run, and flags ratios beyond the limit.
+func TestCompareFlagsRegression(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSchedule", NsPerOp: 100e6},
+		{Name: "BenchmarkSchedulePhase1", NsPerOp: 1e6, CPU: 4},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSchedule", NsPerOp: 350e6}, // 3.5x: regression
+		{Name: "BenchmarkSchedule", NsPerOp: 150e6}, // fastest of -count runs: 1.5x, fine
+		{Name: "BenchmarkOnlyHere", NsPerOp: 1},     // no baseline: ignored
+	}}
+	lines, err := compare(base, cur, 2)
+	if err != nil {
+		t.Fatalf("fastest run within limit still failed: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	cur.Benchmarks[1].NsPerOp = 250e6 // now even the best run is 2.5x
+	if _, err := compare(base, cur, 2); err == nil {
+		t.Fatal("2.5x regression passed a 2x limit")
+	}
+	// A smoke run that matches nothing in the baseline must fail loudly
+	// rather than vacuously pass.
+	if _, err := compare(base, &Report{Benchmarks: []Benchmark{{Name: "BenchmarkOnlyHere", NsPerOp: 1}}}, 2); err == nil {
+		t.Fatal("disjoint benchmark sets compared as success")
+	}
+}
+
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok  pkg 0.1s\n")); err == nil {
 		t.Fatal("input without benchmark lines must fail")

@@ -103,6 +103,30 @@ func (m *Model) TransferCost(video media.VideoID, src, dst topology.NodeID) unit
 	return units.Money(v.StreamBytes().Float() * float64(m.table.Rate(src, dst)))
 }
 
+// StreamCost prices one stream of precomputed volume from src to dst —
+// TransferCost with the per-call catalog lookup hoisted out: stream must
+// be the video's StreamBytes().Float(). It exists for the greedy's
+// innermost candidate loop, which prices every supply point of every
+// request and amortizes the video-dependent work across the loop.
+func (m *Model) StreamCost(stream float64, src, dst topology.NodeID) units.Money {
+	return units.Money(stream * float64(m.table.Rate(src, dst)))
+}
+
+// CandidateCost prices serving one request from an existing copy: the
+// marginal storage of extending the copy to newLast (ExtendCost) plus one
+// stream from the copy's node to dst (TransferCost), with the per-call
+// catalog lookups hoisted out like StreamCost. oldCost must be the copy's
+// current span cost, SpanCost(SRate(c.Loc), v.Size, v.Playback, c.Span());
+// the greedy caches it per residency so pricing a candidate costs one
+// SpanCost, not two. The arithmetic matches ExtendCost + TransferCost bit
+// for bit.
+func (m *Model) CandidateCost(v *media.Video, stream float64, oldCost units.Money,
+	c *schedule.Residency, newLast simtime.Time, dst topology.NodeID) units.Money {
+	rate := m.book.SRate(c.Loc)
+	newCost := SpanCost(rate, v.Size, v.Playback, newLast.Sub(c.Load))
+	return newCost - oldCost + units.Money(stream*float64(m.table.Rate(c.Loc, dst)))
+}
+
 // PrePlacementCost returns the bulk-transfer cost of loading a pre-placed
 // copy from the warehouse: the file's size priced at the cheapest route
 // rate times the book's off-peak preload factor. Unlike a playback stream

@@ -21,6 +21,7 @@ package ivs
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/vodsim/vsp/internal/cost"
 	"github.com/vodsim/vsp/internal/media"
@@ -128,6 +129,7 @@ type copyKey struct {
 func ScheduleFile(m *cost.Model, video media.VideoID, reqs []workload.Request, opts Options) (*schedule.FileSchedule, error) {
 	topo := m.Book().Topology()
 	v := m.Catalog().Video(video)
+	stream := v.StreamBytes().Float()
 	ordered := append([]workload.Request(nil), reqs...)
 	workload.SortChronological(ordered)
 
@@ -162,9 +164,23 @@ func ScheduleFile(m *cost.Model, video media.VideoID, reqs []workload.Request, o
 			opts.Ledger.Add(occupancy.Ref{Video: video, Index: len(fs.Residencies) - 1}, seed)
 		}
 	}
+	// One delivery per request, and rarely more than one tentative opened
+	// per delivery: sizing the slices up front keeps the serve loop's
+	// appends from repeatedly regrowing them.
+	fs.Deliveries = slices.Grow(fs.Deliveries, len(ordered))
+	fs.Residencies = slices.Grow(fs.Residencies, 2*len(ordered))
 	seen := make(map[copyKey]struct{}, len(fs.Residencies)+len(ordered))
 	for _, c := range fs.Residencies {
 		seen[copyKey{c.Loc, c.Load}] = struct{}{}
+	}
+	// oldCosts[j] caches fs.Residencies[j]'s current span cost — the
+	// subtrahend of every candidate price (cost.CandidateCost). Maintained
+	// on extension and on tentative open, it halves the SpanCost work in
+	// the candidate loop.
+	oldCosts := make([]units.Money, len(fs.Residencies), cap(fs.Residencies))
+	for j := range fs.Residencies {
+		c := &fs.Residencies[j]
+		oldCosts[j] = cost.SpanCost(m.Book().SRate(c.Loc), v.Size, v.Playback, c.Span())
 	}
 	for _, r := range ordered {
 		if r.Video != video {
@@ -173,7 +189,7 @@ func ScheduleFile(m *cost.Model, video media.VideoID, reqs []workload.Request, o
 		if int(r.User) < 0 || int(r.User) >= topo.NumUsers() {
 			return nil, fmt.Errorf("ivs: unknown user %d", r.User)
 		}
-		if err := serveOne(m, v, fs, r, opts, seen); err != nil {
+		if err := serveOne(m, v, stream, fs, r, opts, seen, &oldCosts); err != nil {
 			return nil, err
 		}
 	}
@@ -183,8 +199,11 @@ func ScheduleFile(m *cost.Model, video media.VideoID, reqs []workload.Request, o
 
 // serveOne schedules request r given the partial schedule fs, choosing the
 // minimum-incremental-cost supply point (paper §3.2 steps 2–3). seen is
-// the incremental (node, load) index of fs.Residencies.
-func serveOne(m *cost.Model, v media.Video, fs *schedule.FileSchedule, r workload.Request, opts Options, seen map[copyKey]struct{}) error {
+// the incremental (node, load) index of fs.Residencies; stream is the
+// video's precomputed StreamBytes().Float(), hoisted out of the candidate
+// loop (every candidate is priced, so the per-candidate work is pure rate
+// arithmetic).
+func serveOne(m *cost.Model, v media.Video, stream float64, fs *schedule.FileSchedule, r workload.Request, opts Options, seen map[copyKey]struct{}, oldCosts *[]units.Money) error {
 	topo := m.Book().Topology()
 	dst := topo.User(r.User).Local
 
@@ -192,10 +211,10 @@ func serveOne(m *cost.Model, v media.Video, fs *schedule.FileSchedule, r workloa
 	// warehouse stores everything and a direct stream uses no storage).
 	bestSrc := topo.Warehouse()
 	bestRes := schedule.NoResidency
-	bestCost := m.TransferCost(v.ID, topo.Warehouse(), dst)
+	bestCost := m.StreamCost(stream, topo.Warehouse(), dst)
 
 	for j := range fs.Residencies {
-		c := fs.Residencies[j]
+		c := &fs.Residencies[j]
 		if c.Load > r.Start {
 			continue // copy does not exist yet at service time
 		}
@@ -207,7 +226,7 @@ func serveOne(m *cost.Model, v media.Video, fs *schedule.FileSchedule, r workloa
 			if r.Start > c.LastService {
 				continue
 			}
-			candCost := m.TransferCost(v.ID, c.Loc, dst)
+			candCost := m.StreamCost(stream, c.Loc, dst)
 			if candCost < bestCost-moneyEps {
 				bestCost = candCost
 				bestSrc = c.Loc
@@ -224,11 +243,11 @@ func serveOne(m *cost.Model, v media.Video, fs *schedule.FileSchedule, r workloa
 		// copy is a frozen-prefix record from an earlier epoch) extends
 		// nothing and pays zero marginal storage.
 		newLast := simtime.Max(c.LastService, r.Start)
-		candCost := m.ExtendCost(c, newLast) + m.TransferCost(v.ID, c.Loc, dst)
+		candCost := m.CandidateCost(&v, stream, (*oldCosts)[j], c, newLast, dst)
 		if candCost >= bestCost-moneyEps {
 			continue
 		}
-		extended := c
+		extended := *c
 		extended.LastService = newLast
 		if violatesAny(extended, v.Playback, opts.Banned) {
 			continue
@@ -259,20 +278,27 @@ func serveOne(m *cost.Model, v media.Video, fs *schedule.FileSchedule, r workloa
 		c.Services = append(c.Services, di)
 		if r.Start > c.LastService {
 			c.LastService = r.Start
+			(*oldCosts)[bestRes] = cost.SpanCost(m.Book().SRate(c.Loc), v.Size, v.Playback, c.Span())
 		}
 		if opts.Ledger != nil {
-			opts.Ledger.Update(occupancy.Ref{Video: v.ID, Index: bestRes}, *c)
+			// Tentatives are not registered at open time (they occupy
+			// nothing — see openTentative), so the first extension of one
+			// installs it here instead of updating it.
+			ref := occupancy.Ref{Video: v.ID, Index: bestRes}
+			if !opts.Ledger.Update(ref, *c) {
+				opts.Ledger.Add(ref, *c)
+			}
 		}
 	}
 
-	openTentative(m, v, fs, di, opts, seen)
+	openTentative(m, v, fs, di, opts, seen, oldCosts)
 	return nil
 }
 
 // openTentative opens zero-span residencies along the new delivery's route
 // per the caching policy. Zero-span copies cost nothing and occupy nothing,
 // so they are free options for later requests; unused ones are pruned.
-func openTentative(m *cost.Model, v media.Video, fs *schedule.FileSchedule, di int, opts Options, seen map[copyKey]struct{}) {
+func openTentative(m *cost.Model, v media.Video, fs *schedule.FileSchedule, di int, opts Options, seen map[copyKey]struct{}, oldCosts *[]units.Money) {
 	if opts.Policy == NoCaching {
 		return
 	}
@@ -300,10 +326,14 @@ func openTentative(m *cost.Model, v media.Video, fs *schedule.FileSchedule, di i
 			continue
 		}
 		fs.Residencies = append(fs.Residencies, cand)
+		*oldCosts = append(*oldCosts, 0) // zero span: SpanCost is exactly 0
 		seen[key] = struct{}{}
-		if opts.Ledger != nil {
-			opts.Ledger.Add(occupancy.Ref{Video: v.ID, Index: len(fs.Residencies) - 1}, cand)
-		}
+		// The ledger is deliberately NOT told about the tentative: a
+		// zero-span copy peaks at γ=0 and occupies nothing, so registering
+		// it would change no query answer while costing an entry append on
+		// every route node of every request. serveOne installs the copy on
+		// its first extension; unused tentatives never reach the ledger at
+		// all.
 	}
 }
 

@@ -497,11 +497,45 @@ func TestBoundaryOverflowSetExcludesEndedSupport(t *testing.T) {
 	if len(refs) != 1 || refs[0] != (Ref{1, 0}) {
 		t.Errorf("OverflowSet = %v, want only the live copy", refs)
 	}
-	// An interval ending exactly at a support's start still includes it
-	// (endpoint-inclusive end, the degenerate-instant rule).
+	// An interval ending exactly at a support's start excludes it: the
+	// abutting copy loads at the overflow's closing instant and holds no
+	// space anywhere inside the overflow, so rescheduling it cannot help.
 	refs = l.OverflowSet(is1, simtime.NewInterval(150, 200))
-	if len(refs) != 2 {
-		t.Errorf("OverflowSet = %v, want both copies", refs)
+	if len(refs) != 1 || refs[0] != (Ref{0, 0}) {
+		t.Errorf("OverflowSet = %v, want only the overlapping copy", refs)
+	}
+}
+
+// Regression for the old "widen degenerate intervals by one second" rule:
+// copies that merely abut a non-degenerate overflow — loading exactly at
+// its end, or fully decayed exactly at its start — are not victims, while
+// a degenerate (single-instant) overflow still matches the copy whose
+// support covers the instant.
+func TestOverflowSetAbuttingResidency(t *testing.T) {
+	topo, cat := fixture(t)
+	l := NewLedger(topo, cat)
+	is1 := topology.NodeID(1)
+	l.Add(Ref{0, 0}, res(0, is1, 0, 100))   // support [0, 200)
+	l.Add(Ref{1, 0}, res(1, is1, 300, 500)) // support [300, 600)
+
+	// Non-degenerate window between the two supports, abutting both: the
+	// first copy's support ends exactly at its start (half-open, excluded)
+	// and the second loads exactly at its end (holds nothing inside).
+	if refs := l.OverflowSet(is1, simtime.NewInterval(200, 300)); len(refs) != 0 {
+		t.Errorf("OverflowSet(200,300) = %v, want none", refs)
+	}
+	// Degenerate instants are endpoint-inclusive on the left: the instant
+	// at a support's start matches, the instant at its (half-open) end
+	// does not.
+	if refs := l.OverflowSet(is1, simtime.NewInterval(300, 300)); len(refs) != 1 || refs[0] != (Ref{1, 0}) {
+		t.Errorf("OverflowSet(300,300) = %v, want the loading copy", refs)
+	}
+	if refs := l.OverflowSet(is1, simtime.NewInterval(200, 200)); len(refs) != 0 {
+		t.Errorf("OverflowSet(200,200) = %v, want none", refs)
+	}
+	// A window straddling a support edge by one second does overlap.
+	if refs := l.OverflowSet(is1, simtime.NewInterval(199, 300)); len(refs) != 1 || refs[0] != (Ref{0, 0}) {
+		t.Errorf("OverflowSet(199,300) = %v, want the decaying copy", refs)
 	}
 }
 

@@ -87,6 +87,11 @@ func Do(ctx context.Context, opts Options, newReq func() (*http.Request, error))
 	delay := opts.BaseDelay
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		// An already-expired context must short-circuit before the attempt
+		// is issued, not after a doomed dial plus a full backoff sleep.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		req, err := newReq()
 		if err != nil {
 			return nil, fmt.Errorf("retryhttp: build request: %w", err)
@@ -94,6 +99,11 @@ func Do(ctx context.Context, opts Options, newReq func() (*http.Request, error))
 		resp, err := opts.Client.Do(req.WithContext(ctx))
 		switch {
 		case err != nil:
+			// A failure caused by the context is terminal, not transient:
+			// retrying a cancelled call only burns attempts and backoff.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			lastErr = err
 		case !retryableStatus(resp.StatusCode) || attempt == opts.MaxAttempts:
 			return resp, nil
@@ -155,6 +165,12 @@ func retryAfter(resp *http.Response, fallback, max time.Duration) time.Duration 
 }
 
 func sleep(ctx context.Context, d time.Duration) error {
+	// Check first: select picks uniformly among ready cases, so a
+	// cancelled context could otherwise lose the race against a timer
+	// that has already fired (or a zero-length sleep).
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

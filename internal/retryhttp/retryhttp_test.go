@@ -131,7 +131,9 @@ func TestTransportErrorExhaustion(t *testing.T) {
 	}
 }
 
-// Context cancellation interrupts the backoff sleep promptly.
+// Context cancellation interrupts the backoff sleep promptly: with an
+// hour-long backoff pending, the call must return within milliseconds of
+// cancel, not after the timer.
 func TestContextCancelDuringBackoff(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -143,14 +145,70 @@ func TestContextCancelDuringBackoff(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- retryhttp.GetJSON(ctx, opts, ts.URL, nil) }()
 	time.Sleep(10 * time.Millisecond)
+	start := time.Now()
 	cancel()
 	select {
 	case err := <-done:
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("got %v, want context.Canceled", err)
 		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("cancellation took %v to interrupt the backoff", elapsed)
+		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("cancellation did not interrupt the backoff")
+	}
+}
+
+// An already-expired context short-circuits before any attempt: no
+// request reaches the server and the context error surfaces directly.
+func TestAlreadyExpiredContext(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := retryhttp.GetJSON(ctx, fastOpts(), ts.URL, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("expired context took %v to surface", elapsed)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("expired context still reached the server %d times", hits.Load())
+	}
+}
+
+// A deadline shorter than the pending backoff bounds the whole call: the
+// client gives up at the deadline instead of finishing the sleep, and the
+// deadline error is not laundered into a retryable transport failure.
+func TestShortDeadlineBoundsBackoff(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	opts := retryhttp.Options{BaseDelay: time.Hour, MaxDelay: time.Hour}
+	start := time.Now()
+	err := retryhttp.GetJSON(ctx, opts, ts.URL, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to bound the backoff", elapsed)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("%d attempts inside a 25ms deadline with 1h backoff, want exactly 1", hits.Load())
 	}
 }
 

@@ -42,6 +42,10 @@ type Table struct {
 	// prev[s][d] is the node preceding d on a cheapest s->d route
 	// (-1 for d == s or unreachable d).
 	prev [][]topology.NodeID
+	// routes[s][d] is the reconstructed cheapest route, precomputed so the
+	// greedy's per-delivery Route call is a slice load instead of a
+	// predecessor-chain walk plus allocation (nil when d is unreachable).
+	routes [][]Route
 }
 
 // NewTable computes all-pairs cheapest routes for the book's topology.
@@ -58,6 +62,17 @@ func NewTable(book *pricing.Book) *Table {
 	}
 	for s := 0; s < n; s++ {
 		t.dist[s], t.prev[s] = dijkstra(topo, book, topology.NodeID(s))
+	}
+	t.routes = make([][]Route, n)
+	for s := 0; s < n; s++ {
+		t.routes[s] = make([]Route, n)
+		for d := 0; d < n; d++ {
+			src, dst := topology.NodeID(s), topology.NodeID(d)
+			if !t.Reachable(src, dst) {
+				continue
+			}
+			t.routes[s][d] = t.reconstruct(src, dst)
+		}
 	}
 	return t
 }
@@ -78,16 +93,22 @@ func (t *Table) Reachable(src, dst topology.NodeID) bool {
 	return !math.IsInf(float64(t.dist[src][dst]), 1)
 }
 
-// Route reconstructs a cheapest route from src to dst. It returns an error
-// if dst is unreachable.
+// Route returns a cheapest route from src to dst, or an error if dst is
+// unreachable. The route is shared with the table and with every other
+// caller: treat it as immutable and Clone it before modifying.
 func (t *Table) Route(src, dst topology.NodeID) (Route, error) {
-	if !t.Reachable(src, dst) {
+	r := t.routes[src][dst]
+	if r == nil {
 		return nil, fmt.Errorf("routing: node %d unreachable from %d", dst, src)
 	}
+	return r, nil
+}
+
+// reconstruct walks the predecessor chain dst -> src and reverses it.
+func (t *Table) reconstruct(src, dst topology.NodeID) Route {
 	if src == dst {
-		return Route{src}, nil
+		return Route{src}
 	}
-	// Walk the predecessor chain dst -> src, then reverse.
 	var rev Route
 	for cur := dst; cur != src; cur = t.prev[src][cur] {
 		rev = append(rev, cur)
@@ -99,7 +120,7 @@ func (t *Table) Route(src, dst topology.NodeID) (Route, error) {
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev, nil
+	return rev
 }
 
 // dijkstra runs Dijkstra's algorithm from src, weighting each edge by its

@@ -50,8 +50,7 @@ func refine(ctx context.Context, m *cost.Model, s *schedule.Schedule, parts map[
 		for _, vid := range s.VideoIDs() {
 			cur := s.Files[vid]
 			curCost := m.FileCost(cur)
-			tmp := ledger.Clone()
-			tmp.RemoveVideo(vid)
+			tmp := ledger.OverlayWithout(vid)
 			cand, err := ivs.ScheduleFile(m, vid, parts[vid], ivs.Options{
 				Policy: policy,
 				Ledger: tmp,
@@ -63,7 +62,7 @@ func refine(ctx context.Context, m *cost.Model, s *schedule.Schedule, parts map[
 			candCost := m.FileCost(cand)
 			if candCost < curCost-eps {
 				s.Put(cand)
-				ledger = tmp
+				ledger = tmp.Flatten()
 				res.moved++
 				res.savings += curCost - candCost
 				improved = true
