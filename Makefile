@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test vet bench bench-json bench-smoke race soak cover fuzz figures results examples failover-demo clean
+.PHONY: all build test vet bench bench-json bench-smoke race soak cover fuzz figures results examples failover-demo sharded-demo clean
 
 all: build vet test
 
@@ -40,13 +40,16 @@ bench:
 # one-shot solver and the rolling-horizon incremental extension, plus
 # their speedup ratio). The later runs exercise the parallel fan-out at
 # -cpu 1,4 — both the isolated phase 1 and the full 10k-request solve —
-# so benchjson can derive phase1_parallel_speedup from the matched pair.
-# Committed as BENCH_scheduler.json.
+# so benchjson can derive phase1_parallel_speedup from the matched pair,
+# and the gateway submit pair at -cpu 4 so it can derive
+# gateway_submit_speedup_3shards. Committed as BENCH_scheduler.json.
 bench-json:
 	( $(GO) test -run='^$$' -bench='BenchmarkSchedule$$|BenchmarkHorizonAdvance$$|BenchmarkFullResolve$$' \
 		-benchmem ./internal/scheduler ./internal/horizon ; \
 	  $(GO) test -run='^$$' -bench='BenchmarkSchedulePhase1$$' -cpu 1,4 \
 		-benchmem ./internal/scheduler ; \
+	  $(GO) test -run='^$$' -bench='BenchmarkGatewaySubmit' -cpu 4 \
+		-benchmem ./internal/gateway ; \
 	  $(GO) test -run='^$$' -bench='BenchmarkSchedule10k$$' -cpu 1,4 -benchtime=1x \
 		-timeout=60m -benchmem ./internal/scheduler ) \
 		| $(GO) run ./cmd/benchjson -out BENCH_scheduler.json
@@ -81,11 +84,19 @@ examples:
 	$(GO) run ./examples/fault-repair
 	$(GO) run ./examples/rolling-horizon
 	$(GO) run ./examples/failover
+	$(GO) run ./examples/sharded-intake
 
 # Two-node failover demo: durable primary + warm standby in one process,
 # kill, fence, promote, byte-identical plan check (examples/failover).
 failover-demo:
 	$(GO) run ./examples/failover
+
+# Sharded intake demo: a routing gateway over three horizon shards (one
+# a durable primary/standby pair), placement policy comparison, merged
+# plan validation, and a live primary kill with automatic promotion
+# (examples/sharded-intake).
+sharded-demo:
+	$(GO) run ./examples/sharded-intake
 
 clean:
 	rm -rf $(BIN) figures

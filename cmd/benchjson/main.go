@@ -52,6 +52,12 @@ type Report struct {
 	// of the parallel phase-1 fan-out. Meaningful only on multi-core
 	// machines — on a single hardware thread it hovers near 1.
 	Phase1ParallelSpeedup float64 `json:"phase1_parallel_speedup,omitempty"`
+	// GatewaySubmitSpeedup is BenchmarkGatewaySubmit1Server's ns/op over
+	// BenchmarkGatewaySubmit3Shards's at the same GOMAXPROCS: the intake
+	// throughput a 3-shard gateway tier buys over a single server under
+	// concurrent submission. Like the phase-1 ratio, it needs real cores
+	// to mean much.
+	GatewaySubmitSpeedup float64 `json:"gateway_submit_speedup_3shards,omitempty"`
 }
 
 func main() {
@@ -135,6 +141,9 @@ func parse(r io.Reader) (*Report, error) {
 	// measure something else.
 	if h, f, ok := pairAtSameCPU(idx, "BenchmarkHorizonAdvance", "BenchmarkFullResolve"); ok && h > 0 {
 		rep.HorizonSpeedup = f / h
+	}
+	if g3, g1, ok := pairAtSameCPU(idx, "BenchmarkGatewaySubmit3Shards", "BenchmarkGatewaySubmit1Server"); ok && g3 > 0 {
+		rep.GatewaySubmitSpeedup = g1 / g3
 	}
 	if seq, ok := idx[benchKey{"BenchmarkSchedulePhase1", 1}]; ok && seq.NsPerOp > 0 {
 		parCPU, par := 1, 0.0

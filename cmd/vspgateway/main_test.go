@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in                string
+		id, prim, stand   string
+		wantErrContaining string
+	}{
+		{in: "s0=http://a:8080", id: "s0", prim: "http://a:8080"},
+		{in: "s1=http://a:8080,http://b:8081", id: "s1", prim: "http://a:8080", stand: "http://b:8081"},
+		{in: "http://a:8080", wantErrContaining: "id=primaryURL"},
+		{in: "=http://a:8080", wantErrContaining: "id=primaryURL"},
+		{in: "s0=", wantErrContaining: "empty primary"},
+		{in: "s0=,http://b:8081", wantErrContaining: "empty primary"},
+		{in: "s0=http://a,http://b,http://c", wantErrContaining: "at most one standby"},
+	}
+	for _, c := range cases {
+		sc, err := parseShard(c.in)
+		if c.wantErrContaining != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErrContaining) {
+				t.Errorf("parseShard(%q) err = %v, want containing %q", c.in, err, c.wantErrContaining)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseShard(%q): %v", c.in, err)
+			continue
+		}
+		if sc.ID != c.id || sc.Primary != c.prim || sc.Standby != c.stand {
+			t.Errorf("parseShard(%q) = %+v, want {%s %s %s}", c.in, sc, c.id, c.prim, c.stand)
+		}
+	}
+}

@@ -17,6 +17,8 @@
 // of an in-process service: reservations go to POST /v1/reservations and
 // epoch boundaries to POST /v1/advance, with jittered-backoff retries on
 // transient failures (an overloaded server's 429/Retry-After included).
+// The URL may also be a vspgateway fronting several shards — the replay
+// then reports per-shard routing counts next to the latency summary.
 package main
 
 import (
@@ -243,11 +245,51 @@ func run(o options) error {
 	return nil
 }
 
-// runRemote replays the trace against a running vspserve over HTTP. The
-// retryhttp loop absorbs transient faults: a shed request (429 +
-// Retry-After) or a brief outage is retried with jittered backoff instead
-// of aborting the replay. Epoch triggers come from the server's own
-// horizon configuration, so the local -epoch-* flags are ignored.
+// latencySummary condenses per-submit round-trip samples. The
+// percentiles are exact over the sorted sample set — a replay is
+// thousands of submits at most, so there is no need to sketch.
+type latencySummary struct {
+	n             int
+	p50, p99, max time.Duration
+}
+
+func summarize(samples []time.Duration) latencySummary {
+	if len(samples) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(p int) time.Duration {
+		i := len(samples) * p / 100
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	return latencySummary{n: len(samples), p50: pct(50), p99: pct(99), max: samples[len(samples)-1]}
+}
+
+// remoteStats is the slice of GET /v1/stats this command reports on. A
+// vspgateway answers with the per-shard rollup; a plain vspserve has no
+// "shards" array and decodes to an empty slice.
+type remoteStats struct {
+	Policy string `json:"policy"`
+	Shards []struct {
+		ID      string `json:"id"`
+		Primary string `json:"primary"`
+		Routed  uint64 `json:"routed"`
+		Shed    uint64 `json:"shed"`
+		Epoch   int    `json:"epoch"`
+	} `json:"shards"`
+}
+
+// runRemote replays the trace against a running vspserve — or a
+// vspgateway fronting several shards; the surface is the same — over
+// HTTP. The retryhttp loop absorbs transient faults: a shed request
+// (429 + Retry-After) or a brief outage is retried with jittered backoff
+// instead of aborting the replay. Epoch triggers come from the server's
+// own horizon configuration, so the local -epoch-* flags are ignored.
+// Against a gateway, the summary includes how the placement policy
+// spread the trace across shards.
 func runRemote(o options, trace []arrival) error {
 	ctx := context.Background()
 	base := strings.TrimRight(o.serverURL, "/")
@@ -280,14 +322,17 @@ func runRemote(o options, trace []arrival) error {
 		return nil
 	}
 	pending := 0
+	samples := make([]time.Duration, 0, len(trace))
 	for _, a := range trace {
 		at := a.at
 		var ack server.ReservationResponse
+		t0 := time.Now()
 		err := retryhttp.PostJSON(ctx, retry, base+"/v1/reservations",
 			server.ReservationRequest{User: a.r.User, Video: a.r.Video, Start: a.r.Start, At: &at}, &ack)
 		if err != nil {
 			return fmt.Errorf("submit (user %d, video %d, %v): %w", a.r.User, a.r.Video, a.r.Start, err)
 		}
+		samples = append(samples, time.Since(t0))
 		pending = ack.Pending
 		if ack.EpochDue {
 			if err := flush(a.at); err != nil {
@@ -308,6 +353,17 @@ func runRemote(o options, trace []arrival) error {
 	fmt.Printf("\nreservations      %d (planned %d over %d epochs)\n", len(trace), planned, epochs)
 	fmt.Printf("committed cost    %v\n", plan.Cost)
 	fmt.Printf("round-trip time   %v\n", elapsed.Round(time.Millisecond))
+	ls := summarize(samples)
+	fmt.Printf("submit latency    p50=%v p99=%v max=%v (%d submits)\n",
+		ls.p50.Round(time.Microsecond), ls.p99.Round(time.Microsecond), ls.max.Round(time.Microsecond), ls.n)
+	var st remoteStats
+	if err := retryhttp.GetJSON(ctx, retry, base+"/v1/stats", &st); err == nil && len(st.Shards) > 0 {
+		fmt.Printf("\nrouting (%s placement across %d shards)\n", st.Policy, len(st.Shards))
+		fmt.Printf("%-8s %9s %7s %6s  %s\n", "shard", "routed", "shed", "epoch", "primary")
+		for _, sh := range st.Shards {
+			fmt.Printf("%-8s %9d %7d %6d  %s\n", sh.ID, sh.Routed, sh.Shed, sh.Epoch, sh.Primary)
+		}
+	}
 	if o.outPath != "" {
 		return cli.SaveJSON(o.outPath, plan.Schedule)
 	}

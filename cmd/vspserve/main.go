@@ -70,6 +70,7 @@ func main() {
 		snapEvery   = flag.Int("snapshot-every", horizon.DefaultSnapshotEvery, "journal compaction period in committed epochs (negative disables snapshots)")
 		maxInFlight = flag.Int("max-in-flight", server.DefaultMaxInFlight, "admission-control bound on concurrent requests; excess load is shed with 429 + Retry-After (negative disables)")
 		role        = flag.String("role", "primary", "serving role: primary or follower (forced to follower by -replicate-from)")
+		shardID     = flag.String("shard-id", "", "shard label reported in the /v1/stats shard block when this node serves behind a vspgateway tier")
 		replFrom    = flag.String("replicate-from", "", "primary base URL to ship the WAL from; makes this node a warm standby")
 		replEvery   = flag.Duration("replicate-every", 0, "idle poll period of the WAL shipper (0 = default; a backlog drains continuously)")
 	)
@@ -107,6 +108,7 @@ func main() {
 		DataDir:        *dataDir,
 		MaxInFlight:    *maxInFlight,
 		Role:           nodeRole,
+		ShardID:        *shardID,
 		ReplicateFrom:  *replFrom,
 		ReplicateEvery: *replEvery,
 		Horizon: horizon.Config{

@@ -1,0 +1,68 @@
+package gateway_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/experiment"
+	"github.com/vodsim/vsp/internal/gateway"
+	"github.com/vodsim/vsp/internal/retryhttp"
+	"github.com/vodsim/vsp/internal/server"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Submit-path throughput through the gateway: one shard versus three.
+// Each shard serializes intake on its service lock, so with concurrent
+// clients (run these with -cpu 4; see the bench-json Makefile target)
+// the 3-shard tier admits disjoint request streams in parallel while the
+// single server takes them one at a time. benchjson derives
+// gateway_submit_speedup_3shards from the matched pair.
+
+func benchSubmit(b *testing.B, shardCount int) {
+	r, err := experiment.Build(experiment.Params{
+		Storages: 6, UsersPerStorage: 4, Titles: 16,
+		CapacityGB: 4, RequestsPerUser: 50, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var shards []gateway.ShardConfig
+	for i := 0; i < shardCount; i++ {
+		srv, err := server.NewWithOptions(r.Model, server.Options{MaxInFlight: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		b.Cleanup(func() { ts.Close(); srv.Close() })
+		shards = append(shards, gateway.ShardConfig{ID: fmt.Sprintf("s%d", i), Primary: ts.URL})
+	}
+	gw, err := gateway.New(gateway.Config{Shards: shards, Policy: gateway.RoundRobin(), Retry: fastRetry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gts := httptest.NewServer(gw)
+	b.Cleanup(func() { gts.Close(); gw.Close() })
+
+	reqs := append(workload.Set(nil), r.Requests...)
+	ctx := context.Background()
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := reqs[int(next.Add(1))%len(reqs)]
+			err := retryhttp.PostJSON(ctx, fastRetry, gts.URL+"/v1/reservations",
+				server.ReservationRequest{User: q.User, Video: q.Video, Start: q.Start}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGatewaySubmit1Server(b *testing.B) { benchSubmit(b, 1) }
+
+func BenchmarkGatewaySubmit3Shards(b *testing.B) { benchSubmit(b, 3) }

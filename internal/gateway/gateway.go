@@ -1,0 +1,592 @@
+// Package gateway is the routing front end of the sharded intake tier:
+// it partitions the reservation stream across N independent horizon
+// shards (each one a primary + warm standby pair replicated by
+// internal/replica) while exposing the same intake surface as a single
+// server —
+//
+//	POST /v1/reservations    place on a shard per the Placement policy
+//	POST /v1/advance         broadcast; per-shard epoch results aggregated
+//	GET  /v1/plan            shard plans merged into one global schedule
+//	GET  /v1/stats           per-shard routing + polled load counters
+//	GET  /healthz            gateway liveness
+//
+// Placement is pluggable (round-robin, least-loaded, locality, hash; see
+// placement.go), and failure handling is automatic: a request hitting a
+// fenced or unreachable primary promotes the shard's standby through the
+// ordinary HTTP promote path and retries (failover.go).
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/vodsim/vsp/internal/horizon"
+	"github.com/vodsim/vsp/internal/retryhttp"
+	"github.com/vodsim/vsp/internal/server"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+	"github.com/vodsim/vsp/internal/units"
+)
+
+// ShardConfig names one shard: the serving primary and, optionally, the
+// warm standby the gateway may promote when the primary fails.
+type ShardConfig struct {
+	ID      string
+	Primary string
+	Standby string
+}
+
+// Config assembles a Gateway.
+type Config struct {
+	// Shards lists the partitions (at least one). Empty IDs default to
+	// "s<index>".
+	Shards []ShardConfig
+	// Policy picks the shard per reservation (default RoundRobin()). The
+	// instance must be exclusive to this gateway.
+	Policy Placement
+	// Topo enables region-aware placement: users are mapped onto
+	// len(Shards) contiguous regions of the metro ring (UserRegions) and
+	// the region reaches the policy via RouteInfo.Region. Optional;
+	// without it Locality degrades to the video hash.
+	Topo *topology.Topology
+	// PollInterval is the period of the background /v1/stats poll that
+	// feeds the polled View fields (0 disables the background poller;
+	// GET /v1/stats still refreshes on demand).
+	PollInterval time.Duration
+	// Retry tunes the forwarding client shared by every upstream call.
+	Retry retryhttp.Options
+	// AutoAdvance makes the gateway close a shard's epoch in the
+	// background whenever that shard's intake ack reports its trigger
+	// fired. With N shards no client can know per-shard trigger state, so
+	// epoch management moves into the tier itself.
+	AutoAdvance bool
+	// AdvanceLag holds each auto-advance target this far behind the
+	// shard's newest acked arrival instant. It is the guard against
+	// cross-client arrival skew: a straggler up to AdvanceLag behind the
+	// fastest client never lands inside the frozen window.
+	AdvanceLag simtime.Duration
+}
+
+// shardStats is one polled /v1/stats snapshot.
+type shardStats struct {
+	pending  int
+	inFlight int
+	shed     uint64
+	epoch    int
+	role     string
+	lag      uint64
+	err      string
+}
+
+// shard is the gateway's live state for one partition.
+type shard struct {
+	id string
+
+	mu      sync.Mutex // guards primary/standby and the failover dance
+	primary string
+	standby string
+
+	outstanding atomic.Int64
+	routed      atomic.Uint64
+	failovers   atomic.Uint64
+	polled      atomic.Pointer[shardStats]
+
+	// Auto-advance state: maxAt tracks the newest acked arrival instant,
+	// lastAdvance the last advance target (so targets never regress), and
+	// advancing coalesces concurrent triggers.
+	advMu        sync.Mutex
+	advancing    bool
+	maxAt        atomic.Int64
+	lastAdvance  atomic.Int64
+	advances     atomic.Uint64
+	advanceNanos atomic.Int64
+}
+
+func (sh *shard) current() string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.primary
+}
+
+func (sh *shard) view(i int) View {
+	v := View{Index: i, ID: sh.id, Outstanding: sh.outstanding.Load(), Routed: sh.routed.Load()}
+	if ps := sh.polled.Load(); ps != nil && ps.err == "" {
+		v.HasStats = true
+		v.Pending, v.InFlight, v.Shed, v.Epoch = ps.pending, ps.inFlight, ps.shed, ps.epoch
+	}
+	return v
+}
+
+// Gateway fronts the shards. It is an http.Handler safe for concurrent
+// use; Close it after the HTTP server has drained.
+type Gateway struct {
+	shards      []*shard
+	policy      Placement
+	retry       retryhttp.Options
+	autoAdvance bool
+	advanceLag  simtime.Duration
+	regions     []int // user -> region, nil without Config.Topo
+
+	placeMu sync.Mutex // serializes Place with the outstanding bump
+
+	mux *http.ServeMux
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a gateway and, when Config.PollInterval is set, starts its
+// background stats poller.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("gateway: no shards configured")
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = RoundRobin()
+	}
+	g := &Gateway{
+		policy:      policy,
+		retry:       cfg.Retry,
+		autoAdvance: cfg.AutoAdvance,
+		advanceLag:  cfg.AdvanceLag,
+		stop:        make(chan struct{}),
+	}
+	seen := make(map[string]bool, len(cfg.Shards))
+	for i, sc := range cfg.Shards {
+		id := sc.ID
+		if id == "" {
+			id = fmt.Sprintf("s%d", i)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("gateway: duplicate shard id %q", id)
+		}
+		seen[id] = true
+		if sc.Primary == "" {
+			return nil, fmt.Errorf("gateway: shard %q has no primary URL", id)
+		}
+		sh := &shard{
+			id:      id,
+			primary: strings.TrimRight(sc.Primary, "/"),
+			standby: strings.TrimRight(sc.Standby, "/"),
+		}
+		sh.lastAdvance.Store(-1)
+		g.shards = append(g.shards, sh)
+	}
+	if cfg.Topo != nil {
+		g.regions = UserRegions(cfg.Topo, len(g.shards))
+	}
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /healthz", g.handleHealth)
+	g.mux.HandleFunc("GET /v1/stats", g.handleStats)
+	g.mux.HandleFunc("GET /v1/plan", g.handlePlan)
+	g.mux.HandleFunc("POST /v1/reservations", g.handleReservation)
+	g.mux.HandleFunc("POST /v1/advance", g.handleAdvance)
+	if cfg.PollInterval > 0 {
+		g.wg.Add(1)
+		go g.pollLoop(cfg.PollInterval)
+	}
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// Policy returns the active placement policy's name.
+func (g *Gateway) Policy() string { return g.policy.Name() }
+
+// Close stops the background poller and waits for in-flight
+// auto-advances to finish. Call it after the HTTP server has drained.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+func (g *Gateway) closed() bool {
+	select {
+	case <-g.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// place runs the policy and bumps the chosen shard's counters in one
+// critical section, so two concurrent placements can never both observe
+// the shard as idle.
+func (g *Gateway) place(info RouteInfo) *shard {
+	g.placeMu.Lock()
+	defer g.placeMu.Unlock()
+	views := make([]View, len(g.shards))
+	for i, sh := range g.shards {
+		views[i] = sh.view(i)
+	}
+	idx := g.policy.Place(info, views)
+	if idx < 0 || idx >= len(g.shards) {
+		idx = 0
+	}
+	sh := g.shards[idx]
+	sh.outstanding.Add(1)
+	sh.routed.Add(1)
+	return sh
+}
+
+// ReservationResponse is the gateway's POST /v1/reservations reply: the
+// shard's ack plus which shard served it.
+type ReservationResponse struct {
+	server.ReservationResponse
+	Shard string `json:"shard"`
+}
+
+func (g *Gateway) handleReservation(w http.ResponseWriter, r *http.Request) {
+	var req server.ReservationRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Start < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("negative start time %v", req.Start))
+		return
+	}
+	info := RouteInfo{User: req.User, Video: req.Video, Start: req.Start, Region: -1}
+	if g.regions != nil && int(req.User) >= 0 && int(req.User) < len(g.regions) {
+		info.Region = g.regions[req.User]
+	}
+	sh := g.place(info)
+	defer sh.outstanding.Add(-1)
+	var ack server.ReservationResponse
+	err := g.forward(r.Context(), sh, func(base string) error {
+		return retryhttp.PostJSON(r.Context(), g.retry, base+"/v1/reservations", req, &ack)
+	})
+	if err != nil {
+		writeUpstreamErr(w, sh, err)
+		return
+	}
+	at := req.Start
+	if req.At != nil {
+		at = *req.At
+	}
+	storeMax(&sh.maxAt, int64(at))
+	if ack.EpochDue {
+		g.maybeAutoAdvance(sh)
+	}
+	writeJSON(w, http.StatusAccepted, ReservationResponse{ReservationResponse: ack, Shard: sh.id})
+}
+
+// maybeAutoAdvance closes sh's epoch in the background. Concurrent
+// triggers coalesce: while one advance is in flight the next EpochDue
+// ack re-arms it.
+func (g *Gateway) maybeAutoAdvance(sh *shard) {
+	if !g.autoAdvance || g.closed() {
+		return
+	}
+	sh.advMu.Lock()
+	if sh.advancing {
+		sh.advMu.Unlock()
+		return
+	}
+	sh.advancing = true
+	sh.advMu.Unlock()
+	// The advance occupies the shard like any forwarded call, so live
+	// policies (least-loaded) steer new reservations away from it.
+	sh.outstanding.Add(1)
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer sh.outstanding.Add(-1)
+		defer func() {
+			sh.advMu.Lock()
+			sh.advancing = false
+			sh.advMu.Unlock()
+		}()
+		g.advanceShard(context.Background(), sh)
+	}()
+}
+
+func (g *Gateway) advanceShard(ctx context.Context, sh *shard) {
+	to := simtime.Time(sh.maxAt.Load()).Add(-g.advanceLag)
+	if to < 0 {
+		to = 0
+	}
+	if int64(to) <= sh.lastAdvance.Load() {
+		return // nothing new to commit
+	}
+	t0 := time.Now()
+	var res horizon.EpochResult
+	err := g.forward(ctx, sh, func(base string) error {
+		return retryhttp.PostJSON(ctx, g.retry, base+"/v1/advance", server.AdvanceRequest{To: to}, &res)
+	})
+	if err != nil {
+		return // not fatal: the next EpochDue ack retries
+	}
+	storeMax(&sh.lastAdvance, int64(to))
+	sh.advances.Add(1)
+	sh.advanceNanos.Add(time.Since(t0).Nanoseconds())
+}
+
+// ShardEpoch is one shard's slice of a broadcast advance.
+type ShardEpoch struct {
+	Shard     string              `json:"shard"`
+	Result    horizon.EpochResult `json:"result"`
+	ElapsedMS int64               `json:"elapsed_ms"`
+}
+
+// AdvanceResponse aggregates a broadcast epoch close. The top-level
+// fields mirror horizon.EpochResult's JSON, so single-server clients
+// (cmd/vsphorizon) decode it unchanged: counters are summed, Horizon is
+// the slowest (minimum) shard commit horizon, Epoch the largest shard
+// epoch index. LagMS is the epoch-advance lag — the spread between the
+// fastest and slowest shard's advance round-trip.
+type AdvanceResponse struct {
+	Epoch             int          `json:"epoch"`
+	Horizon           simtime.Time `json:"horizon"`
+	Admitted          int          `json:"admitted"`
+	Replanned         int          `json:"replanned"`
+	FrozenDeliveries  int          `json:"frozen_deliveries"`
+	FrozenResidencies int          `json:"frozen_residencies"`
+	Overflows         int          `json:"overflows"`
+	Cost              units.Money  `json:"cost"`
+	Shards            []ShardEpoch `json:"shards"`
+	LagMS             int64        `json:"lag_ms"`
+}
+
+func (g *Gateway) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req server.AdvanceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, sh, err := g.advanceAll(r.Context(), req.To)
+	if err != nil {
+		writeUpstreamErr(w, sh, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// advanceAll broadcasts one advance to every shard concurrently and
+// aggregates the results. On failure it returns the offending shard.
+func (g *Gateway) advanceAll(ctx context.Context, to simtime.Time) (AdvanceResponse, *shard, error) {
+	type outcome struct {
+		res horizon.EpochResult
+		dur time.Duration
+		err error
+	}
+	outs := make([]outcome, len(g.shards))
+	var wg sync.WaitGroup
+	for i, sh := range g.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			sh.outstanding.Add(1)
+			defer sh.outstanding.Add(-1)
+			t0 := time.Now()
+			var res horizon.EpochResult
+			err := g.forward(ctx, sh, func(base string) error {
+				return retryhttp.PostJSON(ctx, g.retry, base+"/v1/advance", server.AdvanceRequest{To: to}, &res)
+			})
+			outs[i] = outcome{res: res, dur: time.Since(t0), err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+	var agg AdvanceResponse
+	minDur, maxDur := time.Duration(-1), time.Duration(0)
+	for i, o := range outs {
+		sh := g.shards[i]
+		if o.err != nil {
+			return agg, sh, o.err
+		}
+		storeMax(&sh.lastAdvance, int64(to))
+		if i == 0 || o.res.Horizon < agg.Horizon {
+			agg.Horizon = o.res.Horizon
+		}
+		if o.res.Epoch > agg.Epoch {
+			agg.Epoch = o.res.Epoch
+		}
+		agg.Admitted += o.res.Admitted
+		agg.Replanned += o.res.Replanned
+		agg.FrozenDeliveries += o.res.FrozenDeliveries
+		agg.FrozenResidencies += o.res.FrozenResidencies
+		agg.Overflows += o.res.Overflows
+		agg.Cost += o.res.Cost
+		agg.Shards = append(agg.Shards, ShardEpoch{Shard: sh.id, Result: o.res, ElapsedMS: o.dur.Milliseconds()})
+		if minDur < 0 || o.dur < minDur {
+			minDur = o.dur
+		}
+		if o.dur > maxDur {
+			maxDur = o.dur
+		}
+	}
+	if minDur >= 0 {
+		agg.LagMS = (maxDur - minDur).Milliseconds()
+	}
+	return agg, nil, nil
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": len(g.shards)})
+}
+
+// pollLoop refreshes the polled stats snapshots on the configured
+// interval until the gateway is closed.
+func (g *Gateway) pollLoop(every time.Duration) {
+	defer g.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	timeout := every
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			g.PollNow(ctx)
+			cancel()
+		}
+	}
+}
+
+// PollNow refreshes every shard's stats snapshot from its /v1/stats —
+// exactly one request per shard, thanks to the shard block the servers
+// expose. Polls never trigger failover: a poll failure is recorded, and
+// only real intake traffic may promote a standby.
+func (g *Gateway) PollNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, sh := range g.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			var st server.StatsResponse
+			if err := retryhttp.GetJSON(ctx, g.retry, sh.current()+"/v1/stats", &st); err != nil {
+				sh.polled.Store(&shardStats{err: err.Error()})
+				return
+			}
+			sh.polled.Store(&shardStats{
+				pending:  st.Horizon.Pending,
+				inFlight: st.Overload.InFlight,
+				shed:     st.Overload.Shed,
+				epoch:    st.Shard.Epoch,
+				role:     st.Shard.Role,
+				lag:      st.Shard.ReplicationLag,
+			})
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// ShardStatus is one shard's row in the gateway's GET /v1/stats reply.
+type ShardStatus struct {
+	ID          string `json:"id"`
+	Primary     string `json:"primary"`
+	Standby     string `json:"standby,omitempty"`
+	Routed      uint64 `json:"routed"`
+	Outstanding int64  `json:"outstanding"`
+	Failovers   uint64 `json:"failovers"`
+	Advances    uint64 `json:"advances"`
+	AdvanceMS   int64  `json:"advance_ms"`
+	// Polled shard-side counters (zero until a poll succeeds).
+	Pending        int    `json:"pending"`
+	InFlight       int    `json:"in_flight"`
+	Shed           uint64 `json:"shed"`
+	Epoch          int    `json:"epoch"`
+	Role           string `json:"role,omitempty"`
+	ReplicationLag uint64 `json:"replication_lag"`
+	StatsError     string `json:"stats_error,omitempty"`
+}
+
+// StatsResponse is the gateway's GET /v1/stats reply.
+type StatsResponse struct {
+	Policy    string        `json:"policy"`
+	Shards    []ShardStatus `json:"shards"`
+	Routed    uint64        `json:"routed_total"`
+	Shed      uint64        `json:"shed_total"`
+	Failovers uint64        `json:"failovers_total"`
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	g.PollNow(r.Context())
+	writeJSON(w, http.StatusOK, g.Stats())
+}
+
+// Stats assembles the gateway's view of the tier from the counters and
+// the most recent poll (call PollNow first for fresh shard-side fields).
+func (g *Gateway) Stats() StatsResponse {
+	resp := StatsResponse{Policy: g.policy.Name()}
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		row := ShardStatus{ID: sh.id, Primary: sh.primary, Standby: sh.standby}
+		sh.mu.Unlock()
+		row.Routed = sh.routed.Load()
+		row.Outstanding = sh.outstanding.Load()
+		row.Failovers = sh.failovers.Load()
+		row.Advances = sh.advances.Load()
+		row.AdvanceMS = time.Duration(sh.advanceNanos.Load()).Milliseconds()
+		if ps := sh.polled.Load(); ps != nil {
+			row.Pending, row.InFlight, row.Shed = ps.pending, ps.inFlight, ps.shed
+			row.Epoch, row.Role, row.ReplicationLag = ps.epoch, ps.role, ps.lag
+			row.StatsError = ps.err
+		}
+		resp.Routed += row.Routed
+		resp.Shed += row.Shed
+		resp.Failovers += row.Failovers
+		resp.Shards = append(resp.Shards, row)
+	}
+	return resp
+}
+
+// storeMax raises a to at least v.
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeUpstreamErr relays a shard failure: protocol answers keep their
+// status and message (a late-arrival 409 must reach the client intact);
+// transport-level failures become 502, which retrying clients treat as
+// transient.
+func writeUpstreamErr(w http.ResponseWriter, sh *shard, err error) {
+	id := ""
+	if sh != nil {
+		id = sh.id
+	}
+	var se *retryhttp.StatusError
+	if errors.As(err, &se) {
+		writeJSON(w, se.Code, map[string]string{"error": se.Message, "shard": id})
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, map[string]string{
+		"error": fmt.Sprintf("shard %s: %v", id, err),
+		"shard": id,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

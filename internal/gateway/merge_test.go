@@ -1,0 +1,83 @@
+package gateway_test
+
+import (
+	"testing"
+
+	"github.com/vodsim/vsp/internal/gateway"
+	"github.com/vodsim/vsp/internal/schedule"
+)
+
+// Hand-built parts sharing one video: the merge must concatenate record
+// lists and rebase every index-valued cross-reference by the receiving
+// file's offsets, leaving the sentinels alone.
+func TestMergeSchedulesRebasesIndexes(t *testing.T) {
+	a := schedule.New()
+	a.Put(&schedule.FileSchedule{
+		Video: 7,
+		Deliveries: []schedule.Delivery{
+			{Video: 7, User: 0, SourceResidency: schedule.NoResidency},
+			{Video: 7, User: 1, SourceResidency: 0},
+		},
+		Residencies: []schedule.Residency{
+			{Video: 7, FedBy: 0, Services: []int{1}},
+		},
+	})
+	a.Put(&schedule.FileSchedule{
+		Video: 9,
+		Deliveries: []schedule.Delivery{
+			{Video: 9, User: 2, SourceResidency: schedule.NoResidency},
+		},
+	})
+
+	b := schedule.New()
+	b.Put(&schedule.FileSchedule{
+		Video: 7,
+		Deliveries: []schedule.Delivery{
+			{Video: 7, User: 3, SourceResidency: schedule.NoResidency},
+			{Video: 7, User: 4, SourceResidency: 0},
+			{Video: 7, User: 5, SourceResidency: 0},
+		},
+		Residencies: []schedule.Residency{
+			{Video: 7, FedBy: schedule.PrePlacedFeed, Services: []int{1, 2}},
+		},
+	})
+
+	merged := gateway.MergeSchedules(a, b)
+
+	fs := merged.File(7)
+	if fs == nil {
+		t.Fatal("video 7 missing from merge")
+	}
+	if len(fs.Deliveries) != 5 || len(fs.Residencies) != 2 {
+		t.Fatalf("video 7 merged to %d deliveries / %d residencies, want 5 / 2",
+			len(fs.Deliveries), len(fs.Residencies))
+	}
+	// Part A's records keep their indices; part B's shift by (2, 1).
+	if got := fs.Deliveries[2].SourceResidency; got != schedule.NoResidency {
+		t.Fatalf("b.Deliveries[0].SourceResidency = %d after merge, want NoResidency sentinel", got)
+	}
+	if got := fs.Deliveries[3].SourceResidency; got != 1 {
+		t.Fatalf("b.Deliveries[1].SourceResidency = %d after merge, want 1 (0 + residency offset)", got)
+	}
+	rc := fs.Residencies[1]
+	if rc.FedBy != schedule.PrePlacedFeed {
+		t.Fatalf("pre-placed FedBy sentinel rewritten to %d", rc.FedBy)
+	}
+	if len(rc.Services) != 2 || rc.Services[0] != 3 || rc.Services[1] != 4 {
+		t.Fatalf("b residency services = %v after merge, want [3 4]", rc.Services)
+	}
+	if fs.Residencies[0].Services[0] != 1 || fs.Residencies[0].FedBy != 0 {
+		t.Fatal("part A's residency cross-references were disturbed")
+	}
+	if merged.File(9) == nil || len(merged.File(9).Deliveries) != 1 {
+		t.Fatal("video 9 (present in one part only) not carried over")
+	}
+
+	// Inputs must be untouched.
+	if len(a.File(7).Deliveries) != 2 || len(b.File(7).Deliveries) != 3 {
+		t.Fatal("merge mutated its inputs")
+	}
+	if b.File(7).Residencies[0].Services[0] != 1 {
+		t.Fatal("merge rebased the input's services slice in place")
+	}
+}

@@ -58,6 +58,10 @@ type Options struct {
 	// replica.DefaultInterval); a backlogged follower drains
 	// continuously regardless.
 	ReplicateEvery time.Duration
+	// ShardID labels this node's shard in a sharded intake tier; it is
+	// echoed in the /v1/stats shard block so a routing gateway can match
+	// polled load to its configured shards. Empty for unsharded nodes.
+	ShardID string
 }
 
 const (

@@ -44,6 +44,7 @@ type Server struct {
 	model   *cost.Model
 	horizon *horizon.Service
 	workers int
+	shardID string
 	limiter *limiter
 	mux     *http.ServeMux
 	handler http.Handler
@@ -99,6 +100,7 @@ func NewWithOptions(model *cost.Model, opts Options) (*Server, error) {
 		model:   model,
 		horizon: hz,
 		workers: opts.Workers,
+		shardID: opts.ShardID,
 		mux:     http.NewServeMux(),
 		lead:    replica.NewLeadership(role, epoch),
 	}
@@ -188,6 +190,22 @@ type StatsResponse struct {
 	// sequence and (on followers) shipping lag; Ready mirrors /readyz.
 	Replication replica.Status `json:"replication"`
 	Ready       bool           `json:"ready"`
+	// Shard condenses the node's place in a sharded intake tier into the
+	// one block a routing gateway's load poller needs (see
+	// internal/gateway); present even when unsharded, with an empty ID.
+	Shard ShardInfo `json:"shard"`
+}
+
+// ShardInfo is the shard block of /v1/stats: the label the node was
+// started with (-shard-id), its leadership role, the committed horizon
+// epoch and the replication position behind it — everything a placement
+// policy needs, in one request per shard.
+type ShardInfo struct {
+	ID              string `json:"id,omitempty"`
+	Role            string `json:"role"`
+	Epoch           int    `json:"epoch"`
+	LeadershipEpoch uint64 `json:"leadership_epoch"`
+	ReplicationLag  uint64 `json:"replication_lag"`
 }
 
 // HorizonStats is the rolling-horizon service's live state.
@@ -233,6 +251,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Recovery:    s.horizon.Recovery(),
 		Replication: repl,
 		Ready:       ready,
+		Shard: ShardInfo{
+			ID:              s.shardID,
+			Role:            repl.Role,
+			Epoch:           s.horizon.Epoch(),
+			LeadershipEpoch: repl.Epoch,
+			ReplicationLag:  repl.Lag,
+		},
 	})
 }
 

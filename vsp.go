@@ -23,6 +23,7 @@ import (
 	"github.com/vodsim/vsp/internal/billing"
 	"github.com/vodsim/vsp/internal/experiment"
 	"github.com/vodsim/vsp/internal/faults"
+	"github.com/vodsim/vsp/internal/gateway"
 	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/ivs"
 	"github.com/vodsim/vsp/internal/media"
@@ -183,6 +184,19 @@ type (
 	ExperimentResult = experiment.Result
 	// Figure is a regenerated paper figure.
 	Figure = experiment.Figure
+
+	// Gateway is the sharded-intake routing tier: one HTTP front end
+	// spreading reservation traffic across several horizon shards while
+	// presenting the single-server surface (see cmd/vspgateway).
+	Gateway = gateway.Gateway
+	// GatewayConfig parameterizes a Gateway (shards, placement policy,
+	// stats polling, auto-advance).
+	GatewayConfig = gateway.Config
+	// GatewayShard declares one shard: a primary base URL and an
+	// optional warm standby the gateway may promote on primary failure.
+	GatewayShard = gateway.ShardConfig
+	// Placement decides which shard serves a reservation.
+	Placement = gateway.Placement
 )
 
 // Heat metrics (paper Eqs. 8–11).
@@ -293,6 +307,18 @@ var GenerateWorkload = workload.Generate
 var (
 	ReadTrace  = workload.ReadCSV
 	WriteTrace = workload.WriteCSV
+)
+
+// Sharded intake tier: the gateway constructor, the placement policies
+// it routes by, and the cross-shard plan merge (DESIGN.md §13).
+var (
+	NewGateway           = gateway.New
+	ParsePlacement       = gateway.ParsePlacement
+	RoundRobinPlacement  = gateway.RoundRobin
+	LeastLoadedPlacement = gateway.LeastLoaded
+	LocalityPlacement    = gateway.Locality
+	HashPlacement        = gateway.Hash
+	MergeSchedules       = gateway.MergeSchedules
 )
 
 // Experiment entry points (see EXPERIMENTS.md).
