@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test vet bench bench-json bench-smoke race soak cover fuzz figures results examples failover-demo sharded-demo clean
+.PHONY: all build test vet bench bench-json bench-smoke race soak cover fuzz figures results examples failover-demo sharded-demo load-demo bench-load clean
 
 all: build vet test
 
@@ -85,6 +85,7 @@ examples:
 	$(GO) run ./examples/rolling-horizon
 	$(GO) run ./examples/failover
 	$(GO) run ./examples/sharded-intake
+	$(GO) run ./examples/load-demo
 
 # Two-node failover demo: durable primary + warm standby in one process,
 # kill, fence, promote, byte-identical plan check (examples/failover).
@@ -97,6 +98,23 @@ failover-demo:
 # (examples/sharded-intake).
 sharded-demo:
 	$(GO) run ./examples/sharded-intake
+
+# Load harness demo: a flash-crowd Pattern trace streamed straight into
+# the closed-loop harness against a 2-shard auto-advancing gateway
+# (examples/load-demo).
+load-demo:
+	$(GO) run ./examples/load-demo
+
+# Closed-loop load measurement against an in-repo 2-shard gateway:
+# generate a structured trace with vspgen, replay it with vspload, and
+# record latency percentiles/shed rate as BENCH_load.json. Needs a
+# running target: `make bench-load TARGET=http://127.0.0.1:8080`.
+bench-load: build
+	$(BIN)/vspgen -kind topology -gen metro -storages 6 -users 4 > /tmp/vsp-load-topo.json
+	$(BIN)/vspgen -kind catalog -titles 50 > /tmp/vsp-load-catalog.json
+	$(BIN)/vspgen -kind trace -topo /tmp/vsp-load-topo.json -catalog /tmp/vsp-load-catalog.json \
+		-requests 20000 -diurnal 0.5 -flash 20h:3:0:0.7 -format jsonl -out /tmp/vsp-load-trace.jsonl
+	$(BIN)/vspload -target $(TARGET) -trace /tmp/vsp-load-trace.jsonl -c 16 -out BENCH_load.json
 
 clean:
 	rm -rf $(BIN) figures

@@ -23,7 +23,7 @@ ok      github.com/vodsim/vsp/internal/scheduler        2.101s
 `
 
 func TestParse(t *testing.T) {
-	rep, err := parse(strings.NewReader(sample))
+	rep, err := parseWithCPU(strings.NewReader(sample), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,6 +61,55 @@ func TestParse(t *testing.T) {
 	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" {
 		t.Fatalf("environment fields missing: %+v", rep)
 	}
+	if rep.NumCPU != 8 {
+		t.Fatalf("num_cpu = %d, want 8", rep.NumCPU)
+	}
+	if rep.ParallelNote != "" {
+		t.Fatalf("multi-core report flagged: %q", rep.ParallelNote)
+	}
+}
+
+// Regression: on a 1-core host (the CI container), a -cpu 1,4 run of
+// BenchmarkSchedulePhase1 timeslices one hardware thread and the derived
+// "speedup" (0.37–0.57 in past committed reports) is pure noise that
+// reads as a parallelism regression. The parallel ratios must be
+// omitted — and the omission explained — while the horizon ratio, which
+// compares two algorithms at one GOMAXPROCS, survives.
+func TestParallelSpeedupsOmittedOnSingleCore(t *testing.T) {
+	rep, err := parseWithCPU(strings.NewReader(sample), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Phase1ParallelSpeedup != 0 {
+		t.Fatalf("phase-1 speedup %v recorded on a 1-core host", rep.Phase1ParallelSpeedup)
+	}
+	if rep.GatewaySubmitSpeedup != 0 {
+		t.Fatalf("gateway speedup %v recorded on a 1-core host", rep.GatewaySubmitSpeedup)
+	}
+	if rep.ParallelNote == "" {
+		t.Fatal("omission not explained in parallel_speedup_note")
+	}
+	if rep.NumCPU != 1 {
+		t.Fatalf("num_cpu = %d, want 1", rep.NumCPU)
+	}
+	// The same-GOMAXPROCS algorithmic ratio is still valid on one core.
+	if want := 3638931633.0 / 31018870.0; math.Abs(rep.HorizonSpeedup-want) > 1e-9 {
+		t.Fatalf("horizon speedup = %v, want %v", rep.HorizonSpeedup, want)
+	}
+}
+
+func TestGatewaySpeedupOnMultiCore(t *testing.T) {
+	const in = `BenchmarkGatewaySubmit1Server-4     100      4000000 ns/op
+BenchmarkGatewaySubmit3Shards-4     300      1000000 ns/op
+PASS
+`
+	rep, err := parseWithCPU(strings.NewReader(in), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4.0; math.Abs(rep.GatewaySubmitSpeedup-want) > 1e-9 {
+		t.Fatalf("gateway speedup = %v, want %v", rep.GatewaySubmitSpeedup, want)
+	}
 }
 
 // Regression: with -count>1 the same (name, cpu) configuration repeats,
@@ -76,7 +125,7 @@ BenchmarkSchedulePhase1               5         110000000 ns/op
 BenchmarkSchedulePhase1-4            16          26000000 ns/op
 PASS
 `
-	rep, err := parse(strings.NewReader(in))
+	rep, err := parseWithCPU(strings.NewReader(in), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +144,7 @@ func TestPhase1SpeedupNeedsBothLegs(t *testing.T) {
 	const in = `BenchmarkSchedulePhase1-4            18          25000000 ns/op
 PASS
 `
-	rep, err := parse(strings.NewReader(in))
+	rep, err := parseWithCPU(strings.NewReader(in), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +162,7 @@ BenchmarkFullResolve                   1        9000000000 ns/op
 BenchmarkFullResolve-8                 1        3100000000 ns/op
 PASS
 `
-	rep, err := parse(strings.NewReader(in))
+	rep, err := parseWithCPU(strings.NewReader(in), 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,10 +11,15 @@ import (
 	"github.com/vodsim/vsp/internal/workload"
 )
 
+func topoOpts(gen string) genOptions {
+	return genOptions{kind: "topology", gen: gen, storages: 5, users: 3,
+		capacityGB: 8, fanout: 2, extraEdges: 4, seed: 7}
+}
+
 func genTopology(t *testing.T, gen string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, "topology", gen, 5, 3, 8, 2, 4, 0, 0, "", "", 0, 0, 0, "", 7); err != nil {
+	if err := run(&sb, topoOpts(gen)); err != nil {
 		t.Fatalf("run topology %s: %v", gen, err)
 	}
 	return sb.String()
@@ -32,14 +37,14 @@ func TestGenerateTopologies(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	if err := run(&sb, "topology", "bogus", 5, 3, 8, 2, 4, 0, 0, "", "", 0, 0, 0, "", 7); err == nil {
+	if err := run(&sb, topoOpts("bogus")); err == nil {
 		t.Error("expected unknown generator error")
 	}
 }
 
 func TestGenerateCatalog(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "catalog", "", 0, 0, 0, 0, 0, 25, 3.3, "", "", 0, 0, 0, "", 7); err != nil {
+	if err := run(&sb, genOptions{kind: "catalog", titles: 25, meanGB: 3.3, seed: 7}); err != nil {
 		t.Fatalf("run catalog: %v", err)
 	}
 	var videos []map[string]any
@@ -51,23 +56,33 @@ func TestGenerateCatalog(t *testing.T) {
 	}
 }
 
-func TestGenerateWorkloadFromFiles(t *testing.T) {
-	dir := t.TempDir()
-	topoP := filepath.Join(dir, "topo.json")
-	if err := os.WriteFile(topoP, []byte(genTopology(t, "star")), 0o644); err != nil {
+// writeModel generates a topology and catalog pair into dir.
+func writeModel(t *testing.T, dir string) (topoPath, catPath string) {
+	t.Helper()
+	topoPath = filepath.Join(dir, "topo.json")
+	if err := os.WriteFile(topoPath, []byte(genTopology(t, "star")), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	var catBuf strings.Builder
-	if err := run(&catBuf, "catalog", "", 0, 0, 0, 0, 0, 10, 3.3, "", "", 0, 0, 0, "", 7); err != nil {
+	if err := run(&catBuf, genOptions{kind: "catalog", titles: 10, meanGB: 3.3, seed: 7}); err != nil {
 		t.Fatal(err)
 	}
-	catP := filepath.Join(dir, "catalog.json")
-	if err := os.WriteFile(catP, []byte(catBuf.String()), 0o644); err != nil {
+	catPath = filepath.Join(dir, "catalog.json")
+	if err := os.WriteFile(catPath, []byte(catBuf.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	return topoPath, catPath
+}
+
+func TestGenerateWorkloadFromFiles(t *testing.T) {
+	topoP, catP := writeModel(t, t.TempDir())
+	base := genOptions{kind: "workload", topoPath: topoP, catPath: catP,
+		alpha: 0.271, windowH: 6, rpu: 2, seed: 7}
 	for _, arrival := range []string{"uniform", "peak", "slotted"} {
+		o := base
+		o.arrival = arrival
 		var sb strings.Builder
-		if err := run(&sb, "workload", "", 0, 0, 0, 0, 0, 0, 0, topoP, catP, 0.271, 6, 2, arrival, 7); err != nil {
+		if err := run(&sb, o); err != nil {
 			t.Fatalf("workload %s: %v", arrival, err)
 		}
 		var set workload.Set
@@ -78,18 +93,95 @@ func TestGenerateWorkloadFromFiles(t *testing.T) {
 			t.Errorf("%s: requests = %d", arrival, len(set))
 		}
 	}
+	o := base
+	o.arrival = "bogus"
 	var sb strings.Builder
-	if err := run(&sb, "workload", "", 0, 0, 0, 0, 0, 0, 0, topoP, catP, 0.271, 6, 1, "bogus", 7); err == nil {
+	if err := run(&sb, o); err == nil {
 		t.Error("expected unknown arrival error")
 	}
-	if err := run(&sb, "workload", "", 0, 0, 0, 0, 0, 0, 0, "", "", 0.271, 6, 1, "uniform", 7); err == nil {
+	o = base
+	o.arrival = "uniform"
+	o.topoPath, o.catPath = "", ""
+	if err := run(&sb, o); err == nil {
 		t.Error("expected missing-paths error")
+	}
+}
+
+// The trace kind streams a structured pattern: both formats parse back
+// through the trace readers with the exact request count, and the flash/
+// window specs round-trip through the flag grammar.
+func TestGenerateTraceStreams(t *testing.T) {
+	dir := t.TempDir()
+	topoP, catP := writeModel(t, dir)
+	topo, err := loadTopology(topoP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := loadCatalog(catP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"csv", "jsonl"} {
+		outP := filepath.Join(dir, "trace."+format)
+		o := genOptions{
+			kind: "trace", topoPath: topoP, catPath: catP,
+			alpha: 0.271, seed: 7,
+			requests: 500, spanHours: 12, slotMinutes: 10,
+			diurnal: 0.5, diurnalPeakH: 8,
+			flashSpecs:  "6h:3:2:0.5",
+			windowSpecs: "1:2:0.5",
+			driftHours:  2, churnHours: 4, churnFraction: 0.1,
+			format: format, outPath: outP,
+		}
+		if err := run(os.Stderr, o); err != nil {
+			t.Fatalf("trace %s: %v", format, err)
+		}
+		f, err := os.Open(outP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr workload.TraceReader
+		if format == "csv" {
+			tr = workload.NewCSVTraceReader(f, topo, cat)
+		} else {
+			tr = workload.NewJSONLTraceReader(f, topo, cat)
+		}
+		set, err := workload.ReadAllTrace(tr)
+		f.Close()
+		if err != nil {
+			t.Fatalf("read back %s: %v", format, err)
+		}
+		if len(set) != 500 {
+			t.Errorf("%s: %d requests, want 500", format, len(set))
+		}
+	}
+}
+
+func TestTraceFlagErrors(t *testing.T) {
+	topoP, catP := writeModel(t, t.TempDir())
+	base := genOptions{kind: "trace", topoPath: topoP, catPath: catP,
+		requests: 10, spanHours: 1, slotMinutes: 5, format: "jsonl", seed: 1}
+	cases := []func(*genOptions){
+		func(o *genOptions) { o.flashSpecs = "nope" },
+		func(o *genOptions) { o.flashSpecs = "1h:x" },
+		func(o *genOptions) { o.windowSpecs = "1:2" },
+		func(o *genOptions) { o.windowSpecs = "1:2:x" },
+		func(o *genOptions) { o.format = "parquet" },
+		func(o *genOptions) { o.requests = 0 },
+	}
+	for i, mutate := range cases {
+		o := base
+		mutate(&o)
+		var sb strings.Builder
+		if err := run(&sb, o); err == nil {
+			t.Errorf("case %d: invalid trace options accepted: %+v", i, o)
+		}
 	}
 }
 
 func TestUnknownKind(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "bogus", "", 0, 0, 0, 0, 0, 0, 0, "", "", 0, 0, 0, "", 7); err == nil {
+	if err := run(&sb, genOptions{kind: "bogus"}); err == nil {
 		t.Error("expected unknown kind error")
 	}
 }

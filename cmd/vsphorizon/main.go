@@ -38,6 +38,7 @@ import (
 	"github.com/vodsim/vsp/internal/server"
 	"github.com/vodsim/vsp/internal/simtime"
 	"github.com/vodsim/vsp/internal/sorp"
+	"github.com/vodsim/vsp/internal/stats"
 	"github.com/vodsim/vsp/internal/workload"
 )
 
@@ -245,28 +246,6 @@ func run(o options) error {
 	return nil
 }
 
-// latencySummary condenses per-submit round-trip samples. The
-// percentiles are exact over the sorted sample set — a replay is
-// thousands of submits at most, so there is no need to sketch.
-type latencySummary struct {
-	n             int
-	p50, p99, max time.Duration
-}
-
-func summarize(samples []time.Duration) latencySummary {
-	if len(samples) == 0 {
-		return latencySummary{}
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	pct := func(p int) time.Duration {
-		i := len(samples) * p / 100
-		if i >= len(samples) {
-			i = len(samples) - 1
-		}
-		return samples[i]
-	}
-	return latencySummary{n: len(samples), p50: pct(50), p99: pct(99), max: samples[len(samples)-1]}
-}
 
 // remoteStats is the slice of GET /v1/stats this command reports on. A
 // vspgateway answers with the per-shard rollup; a plain vspserve has no
@@ -353,9 +332,12 @@ func runRemote(o options, trace []arrival) error {
 	fmt.Printf("\nreservations      %d (planned %d over %d epochs)\n", len(trace), planned, epochs)
 	fmt.Printf("committed cost    %v\n", plan.Cost)
 	fmt.Printf("round-trip time   %v\n", elapsed.Round(time.Millisecond))
-	ls := summarize(samples)
+	// The summary uses the shared nearest-rank percentiles
+	// (internal/stats) — exact over the sorted sample set; a replay is
+	// thousands of submits at most, so there is no need to sketch.
+	ls := stats.SummarizeLatency(samples)
 	fmt.Printf("submit latency    p50=%v p99=%v max=%v (%d submits)\n",
-		ls.p50.Round(time.Microsecond), ls.p99.Round(time.Microsecond), ls.max.Round(time.Microsecond), ls.n)
+		ls.P50.Round(time.Microsecond), ls.P99.Round(time.Microsecond), ls.Max.Round(time.Microsecond), ls.N)
 	var st remoteStats
 	if err := retryhttp.GetJSON(ctx, retry, base+"/v1/stats", &st); err == nil && len(st.Shards) > 0 {
 		fmt.Printf("\nrouting (%s placement across %d shards)\n", st.Policy, len(st.Shards))

@@ -1,0 +1,157 @@
+// Command vspload is the closed-loop load harness for the reservation
+// intake tier. It replays a workload trace (CSV or JSONL, as emitted by
+// vspgen) against the HTTP surface of a running vspserve or vspgateway:
+// a fixed worker pool submits reservations back-to-back, a coalescing
+// advancer closes epochs when the service reports them due, and the run
+// is summarized as submit-latency percentiles (p50/p95/p99/max), shed
+// (429) and late-arrival (409) rates, epoch advance lag and per-shard
+// routing counts.
+//
+// Usage:
+//
+//	vspload -target http://127.0.0.1:8080 -trace trace.jsonl -c 16 \
+//	        -advance-lag-hours 2 -out load.json
+//
+// Shed requests are counted, never retried: a 429 is the admission
+// controller doing its job and the harness's business is to measure it.
+// The -out JSON feeds the BENCH trajectory (see cmd/benchjson for the
+// micro-benchmark side).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/vodsim/vsp/internal/loadgen"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+type options struct {
+	target          string
+	tracePath       string
+	format          string
+	concurrency     int
+	advanceLagHours float64
+	noAdvance       bool
+	timeout         time.Duration
+	outPath         string
+	quiet           bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.target, "target", "", "base URL of the intake surface — vspserve or vspgateway (required)")
+	flag.StringVar(&o.tracePath, "trace", "", "workload trace to replay, CSV or JSONL (required; - reads stdin)")
+	flag.StringVar(&o.format, "format", "", "trace format: csv | jsonl (default: by file extension)")
+	flag.IntVar(&o.concurrency, "c", 8, "closed-loop worker count")
+	flag.Float64Var(&o.advanceLagHours, "advance-lag-hours", 2, "hold epoch advance targets this many hours behind the newest submitted arrival")
+	flag.BoolVar(&o.noAdvance, "no-advance", false, "never POST /v1/advance (the target advances itself, e.g. a gateway with -auto-advance)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
+	flag.StringVar(&o.outPath, "out", "", "write the JSON result here")
+	flag.BoolVar(&o.quiet, "quiet", false, "suppress the human-readable summary")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "vspload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	if o.target == "" || o.tracePath == "" {
+		return fmt.Errorf("-target and -trace are required")
+	}
+	in := os.Stdin
+	if o.tracePath != "-" {
+		f, err := os.Open(o.tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	format := o.format
+	if format == "" {
+		switch strings.ToLower(filepath.Ext(o.tracePath)) {
+		case ".jsonl", ".ndjson":
+			format = "jsonl"
+		default:
+			format = "csv"
+		}
+	}
+	// The target validates users and videos against its own model; the
+	// reader only rejects records that are malformed on any model.
+	var tr workload.TraceReader
+	switch format {
+	case "csv":
+		tr = workload.NewCSVTraceReader(in, nil, nil)
+	case "jsonl":
+		tr = workload.NewJSONLTraceReader(in, nil, nil)
+	default:
+		return fmt.Errorf("unknown format %q (csv | jsonl)", format)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Target:         o.target,
+		Concurrency:    o.concurrency,
+		Timeout:        o.timeout,
+		DisableAdvance: o.noAdvance,
+		AdvanceLag:     simtime.Duration(o.advanceLagHours * float64(simtime.Hour)),
+	}, tr)
+	if err != nil {
+		return err
+	}
+
+	if !o.quiet {
+		printSummary(res)
+	}
+	if o.outPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d submit errors (first: %s)", res.Errors, strings.Join(res.ErrorSamples, "; "))
+	}
+	return nil
+}
+
+func printSummary(res *loadgen.Result) {
+	fmt.Printf("target      %s  (x%d workers)\n", res.Target, res.Concurrency)
+	fmt.Printf("submitted   %d in %s  (%.0f accepted/s)\n",
+		res.Submitted, time.Duration(res.ElapsedMS)*time.Millisecond, res.AcceptedPerSec)
+	fmt.Printf("outcomes    %d accepted, %d shed (%.1f%%), %d late, %d errors\n",
+		res.Accepted, res.Shed, 100*res.ShedRate, res.Late, res.Errors)
+	fmt.Printf("submit      p50 %s  p95 %s  p99 %s  max %s\n",
+		res.Submit.P50, res.Submit.P95, res.Submit.P99, res.Submit.Max)
+	if res.Advances > 0 {
+		fmt.Printf("advance     %d epochs closed, p50 %s max %s, shard lag <= %dms, final epoch %d horizon %v\n",
+			res.Advances, res.Advance.P50, res.Advance.Max, res.MaxShardLagMS, res.FinalEpoch, res.FinalHorizon)
+	}
+	if len(res.ShardRouted) > 0 {
+		shards := make([]string, 0, len(res.ShardRouted))
+		for s := range res.ShardRouted {
+			shards = append(shards, s)
+		}
+		sort.Strings(shards)
+		fmt.Printf("routing    ")
+		for _, s := range shards {
+			fmt.Printf(" %s=%d", s, res.ShardRouted[s])
+		}
+		fmt.Println()
+	}
+}

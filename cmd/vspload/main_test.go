@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/experiment"
+	"github.com/vodsim/vsp/internal/horizon"
+	"github.com/vodsim/vsp/internal/server"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Smoke: generate a small pattern trace to disk, replay it against an
+// in-process vspserve, and check the JSON result lands. This is the
+// CI short-mode equivalent of `make load-demo`.
+func TestSmokeAgainstServer(t *testing.T) {
+	rig, err := experiment.Build(experiment.Params{
+		Storages: 3, UsersPerStorage: 2, Titles: 8,
+		CapacityGB: 4, RequestsPerUser: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.NewWithOptions(rig.Model, server.Options{
+		Horizon: horizon.Config{EpochRequests: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close() }()
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	outPath := filepath.Join(dir, "load.json")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := workload.NewJSONLTraceWriter(f)
+	p := workload.Pattern{
+		Base:     workload.Config{Seed: 3},
+		Requests: 60,
+		Span:     4 * simtime.Hour,
+	}
+	if err := p.Stream(rig.Topo, rig.Catalog, tw.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	err = run(options{
+		target:          ts.URL,
+		tracePath:       tracePath,
+		concurrency:     4,
+		advanceLagHours: 1,
+		outPath:         outPath,
+		quiet:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var res struct {
+		Submitted int `json:"submitted"`
+		Accepted  int `json:"accepted"`
+		Submit    struct {
+			N int `json:"n"`
+		} `json:"submit_latency"`
+	}
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 60 || res.Accepted == 0 || res.Submit.N != 60 {
+		t.Fatalf("result file: %+v", res)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(options{}); err == nil {
+		t.Fatal("missing -target/-trace accepted")
+	}
+	if err := run(options{target: "http://x", tracePath: "nope.csv"}); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+	dir := t.TempDir()
+	p := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(p, []byte("user,video,start_seconds\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{target: "http://x", tracePath: p, format: "parquet"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -23,7 +23,7 @@
 //
 //	curl -s localhost:8080/v1/topology
 //	curl -s -X POST localhost:8080/v1/schedule \
-//	     -d '{"requests":[{"User":0,"Video":3,"Start":3600}]}'
+//	     -d '{"requests":[{"user":0,"video":3,"start":3600}]}'
 //
 // Standby for the node above (same topology and catalog):
 //
@@ -68,6 +68,7 @@ func main() {
 		fsync       = flag.String("fsync", "always", "journal fsync policy: always (no acknowledged reservation ever lost), interval, or never")
 		fsyncEvery  = flag.Duration("fsync-interval", wal.DefaultSyncEvery, "max sync lag under -fsync interval")
 		snapEvery   = flag.Int("snapshot-every", horizon.DefaultSnapshotEvery, "journal compaction period in committed epochs (negative disables snapshots)")
+		epochReqs   = flag.Int("epoch-requests", 0, "report an epoch due after this many pending reservations (0 = no intake trigger); the intake ack carries epoch_due so clients like vspload or a vspgateway know when to advance")
 		maxInFlight = flag.Int("max-in-flight", server.DefaultMaxInFlight, "admission-control bound on concurrent requests; excess load is shed with 429 + Retry-After (negative disables)")
 		role        = flag.String("role", "primary", "serving role: primary or follower (forced to follower by -replicate-from)")
 		shardID     = flag.String("shard-id", "", "shard label reported in the /v1/stats shard block when this node serves behind a vspgateway tier")
@@ -116,6 +117,7 @@ func main() {
 			Fsync:         fsyncPolicy,
 			FsyncInterval: *fsyncEvery,
 			SnapshotEvery: *snapEvery,
+			EpochRequests: *epochReqs,
 		},
 	})
 	if err != nil {

@@ -1,0 +1,421 @@
+// Package loadgen is the closed-loop load harness for the reservation
+// intake tier. It replays a workload trace against the HTTP surface of a
+// single vspserve node or a vspgateway shard tier: a fixed pool of
+// workers submits reservations back-to-back (each worker issues its next
+// request as soon as the previous ack returns — closed-loop, so offered
+// concurrency is the knob, not an open arrival rate), while a dedicated
+// advancer closes epochs whenever the service reports one due.
+//
+// The harness deliberately does NOT retry shed requests: a 429 is a
+// measurement (the admission controller working), not a transient to
+// paper over, so submits go through a plain http.Client rather than
+// retryhttp. The result quantifies the run — submit latency percentiles,
+// shed and late-arrival rates, epoch advance lag — and marshals to JSON
+// for the benchmark trajectory.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/stats"
+	"github.com/vodsim/vsp/internal/workload"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// Target is the base URL of the intake surface (vspserve or
+	// vspgateway), e.g. "http://127.0.0.1:8080".
+	Target string
+	// Concurrency is the closed-loop worker count (default 8).
+	Concurrency int
+	// Timeout bounds each HTTP call (default 30s).
+	Timeout time.Duration
+	// Advance drives POST /v1/advance whenever a submit ack reports an
+	// epoch due (default true — set DisableAdvance to turn it off when
+	// the target advances itself, e.g. a gateway with -advance-lag).
+	DisableAdvance bool
+	// AdvanceLag holds each advance target this far behind the highest
+	// arrival instant submitted so far, absorbing cross-worker skew the
+	// same way the gateway's auto-advance does. 0 advances to the
+	// highest arrival seen.
+	AdvanceLag simtime.Duration
+	// Client overrides the HTTP client (tests); nil builds one from
+	// Timeout.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Result is a load run's measurement, JSON-ready for the BENCH
+// trajectory.
+type Result struct {
+	Target      string `json:"target"`
+	Concurrency int    `json:"concurrency"`
+
+	Submitted int `json:"submitted"`
+	Accepted  int `json:"accepted"`
+	// Shed counts 429 replies — the admission controller rejecting load.
+	Shed int `json:"shed"`
+	// Late counts 409 replies — arrivals behind the commit horizon.
+	Late int `json:"late"`
+	// Errors counts transport failures and unexpected statuses.
+	Errors       int      `json:"errors"`
+	ErrorSamples []string `json:"error_samples,omitempty"`
+	ShedRate     float64  `json:"shed_rate"`
+
+	ElapsedMS      int64   `json:"elapsed_ms"`
+	AcceptedPerSec float64 `json:"accepted_per_sec"`
+
+	// Submit summarizes per-request submit latency (p50/p95/p99/max).
+	Submit stats.LatencySummary `json:"submit_latency"`
+
+	// Advances counts epoch closes the harness drove; Advance summarizes
+	// their round-trips, and MaxShardLagMS is the worst fastest-to-
+	// slowest shard spread a gateway reported for one advance (0 against
+	// a single server).
+	Advances      int                  `json:"advances"`
+	AdvanceErrors int                  `json:"advance_errors"`
+	Advance       stats.LatencySummary `json:"advance_latency"`
+	MaxShardLagMS int64                `json:"max_shard_lag_ms"`
+
+	FinalEpoch   int          `json:"final_epoch"`
+	FinalHorizon simtime.Time `json:"final_horizon"`
+
+	// ShardRouted counts acks per shard label when the target is a
+	// gateway (its acks carry a "shard" field); empty for a single
+	// server.
+	ShardRouted map[string]int `json:"shard_routed,omitempty"`
+}
+
+// ack is the superset of the server's and the gateway's reservation
+// replies the harness cares about.
+type ack struct {
+	Accepted bool   `json:"accepted"`
+	EpochDue bool   `json:"epoch_due"`
+	Shard    string `json:"shard"`
+}
+
+// advanceReply is the slice of the (server or gateway) advance response
+// the harness reads; the gateway adds lag_ms.
+type advanceReply struct {
+	Epoch   int          `json:"epoch"`
+	Horizon simtime.Time `json:"horizon"`
+	LagMS   int64        `json:"lag_ms"`
+}
+
+type worker struct {
+	submitted, accepted, shed, late, errors int
+	latencies                               []time.Duration
+	errSamples                              []string
+	shards                                  map[string]int
+}
+
+// Run replays the trace against cfg.Target and reports the measurement.
+// The trace is consumed through the TraceReader iterator, so arbitrarily
+// long traces replay in constant memory. Run returns early only on
+// context cancellation or a trace read error; per-request failures are
+// counted, not fatal.
+func Run(ctx context.Context, cfg Config, trace workload.TraceReader) (*Result, error) {
+	cfg = cfg.withDefaults()
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+
+	feed := make(chan workload.Request, cfg.Concurrency*2)
+	var readErr error
+	go func() {
+		defer close(feed)
+		for {
+			r, err := trace.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				readErr = err
+				return
+			}
+			select {
+			case feed <- r:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	adv := &advancer{
+		cfg:    cfg,
+		client: client,
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	if !cfg.DisableAdvance {
+		go adv.loop(ctx)
+	}
+
+	workers := make([]worker, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.shards = make(map[string]int)
+			for req := range feed {
+				submit(ctx, cfg, client, adv, w, req)
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}(&workers[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if !cfg.DisableAdvance {
+		adv.close()
+	}
+	if readErr != nil {
+		return nil, readErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Target:        cfg.Target,
+		Concurrency:   cfg.Concurrency,
+		ElapsedMS:     elapsed.Milliseconds(),
+		ShardRouted:   make(map[string]int),
+		Advances:      adv.count,
+		AdvanceErrors: adv.errors,
+		MaxShardLagMS: adv.maxLagMS,
+		FinalEpoch:    adv.lastEpoch,
+		FinalHorizon:  adv.lastHorizon,
+	}
+	var lat []time.Duration
+	for i := range workers {
+		w := &workers[i]
+		res.Submitted += w.submitted
+		res.Accepted += w.accepted
+		res.Shed += w.shed
+		res.Late += w.late
+		res.Errors += w.errors
+		lat = append(lat, w.latencies...)
+		for s, n := range w.shards {
+			res.ShardRouted[s] += n
+		}
+		for _, e := range w.errSamples {
+			if len(res.ErrorSamples) < 5 {
+				res.ErrorSamples = append(res.ErrorSamples, e)
+			}
+		}
+	}
+	sort.Strings(res.ErrorSamples)
+	if len(res.ShardRouted) == 0 {
+		res.ShardRouted = nil
+	}
+	if res.Submitted > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Submitted)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.AcceptedPerSec = float64(res.Accepted) / secs
+	}
+	res.Submit = stats.SummarizeLatency(lat)
+	res.Advance = stats.SummarizeLatency(adv.latencies)
+	return res, nil
+}
+
+// submit posts one reservation and classifies the outcome. Arrival time
+// is the request's start instant (the trace is chronological, so the
+// service's reservation clock moves with the replay).
+func submit(ctx context.Context, cfg Config, client *http.Client, adv *advancer, w *worker, req workload.Request) {
+	w.submitted++
+	body, err := json.Marshal(req)
+	if err != nil {
+		w.errors++
+		return
+	}
+	t0 := time.Now()
+	resp, err := post(ctx, client, cfg.Target+"/v1/reservations", body)
+	took := time.Since(t0)
+	if err != nil {
+		w.errors++
+		w.sample(err.Error())
+		return
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	w.latencies = append(w.latencies, took)
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		w.accepted++
+		var a ack
+		if json.NewDecoder(resp.Body).Decode(&a) == nil {
+			if a.Shard != "" {
+				w.shards[a.Shard]++
+			}
+			adv.observe(req.Start)
+			if a.EpochDue {
+				adv.trigger()
+			}
+		}
+	case http.StatusTooManyRequests:
+		w.shed++
+	case http.StatusConflict:
+		w.late++
+	default:
+		w.errors++
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
+		w.sample(fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b)))
+	}
+}
+
+func (w *worker) sample(msg string) {
+	if len(w.errSamples) < 5 {
+		w.errSamples = append(w.errSamples, msg)
+	}
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return client.Do(req)
+}
+
+// advancer serializes epoch closes: workers that see an EpochDue ack
+// kick it, concurrent kicks coalesce, and each advance targets the
+// highest arrival instant observed so far minus the configured lag —
+// mirroring the gateway's auto-advance so the harness never pushes the
+// commit horizon past in-flight arrivals.
+type advancer struct {
+	cfg    Config
+	client *http.Client
+
+	maxAt atomic.Int64 // highest arrival instant submitted
+	kick  chan struct{}
+	done  chan struct{}
+
+	mu          sync.Mutex
+	count       int
+	errors      int
+	latencies   []time.Duration
+	maxLagMS    int64
+	lastEpoch   int
+	lastHorizon simtime.Time
+	lastTo      simtime.Time
+}
+
+func (a *advancer) observe(at simtime.Time) {
+	for {
+		cur := a.maxAt.Load()
+		if int64(at) <= cur || a.maxAt.CompareAndSwap(cur, int64(at)) {
+			return
+		}
+	}
+}
+
+func (a *advancer) trigger() {
+	select {
+	case a.kick <- struct{}{}:
+	default: // an advance is already pending; it will observe our maxAt
+	}
+}
+
+func (a *advancer) loop(ctx context.Context) {
+	for {
+		select {
+		case <-a.kick:
+			a.advance(ctx)
+		case <-a.done:
+			// Drain one final pending kick so EpochDue state observed
+			// just before shutdown still closes its epoch.
+			select {
+			case <-a.kick:
+				a.advance(ctx)
+			default:
+			}
+			close(a.kick)
+			return
+		case <-ctx.Done():
+			close(a.kick)
+			return
+		}
+	}
+}
+
+func (a *advancer) close() {
+	close(a.done)
+	// Wait for the loop to drain: kick is closed by the loop on exit.
+	for range a.kick {
+	}
+}
+
+func (a *advancer) advance(ctx context.Context) {
+	to := simtime.Time(a.maxAt.Load()) - simtime.Time(a.cfg.AdvanceLag)
+	a.mu.Lock()
+	if to <= a.lastTo {
+		a.mu.Unlock()
+		return
+	}
+	a.lastTo = to
+	a.mu.Unlock()
+
+	body, _ := json.Marshal(map[string]simtime.Time{"to": to})
+	t0 := time.Now()
+	resp, err := post(ctx, a.client, a.cfg.Target+"/v1/advance", body)
+	took := time.Since(t0)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err != nil {
+		a.errors++
+		return
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		a.errors++
+		return
+	}
+	var rep advanceReply
+	if json.NewDecoder(resp.Body).Decode(&rep) != nil {
+		a.errors++
+		return
+	}
+	a.count++
+	a.latencies = append(a.latencies, took)
+	if rep.LagMS > a.maxLagMS {
+		a.maxLagMS = rep.LagMS
+	}
+	if rep.Epoch > a.lastEpoch {
+		a.lastEpoch = rep.Epoch
+	}
+	if rep.Horizon > a.lastHorizon {
+		a.lastHorizon = rep.Horizon
+	}
+}

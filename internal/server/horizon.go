@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/media"
@@ -112,7 +113,12 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	t0 := time.Now()
 	res, err := s.horizon.Advance(r.Context(), req.To)
+	if err == nil {
+		s.advances.Add(1)
+		s.advanceNanos.Add(int64(time.Since(t0)))
+	}
 	if err != nil {
 		if s.horizon.Horizon() > req.To {
 			writeErr(w, http.StatusBadRequest, err)

@@ -153,3 +153,32 @@ func TestHorizonEpochTriggerViaOptions(t *testing.T) {
 		t.Fatalf("count trigger not reported: %+v", ack)
 	}
 }
+
+// Each committed advance increments the stats advance counter so advance
+// lag is observable from /v1/stats; failed advances don't count.
+func TestAdvanceCountersInStats(t *testing.T) {
+	ts, f := newTestServer(t)
+	readStats := func() HorizonStats {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decode[StatsResponse](t, resp).Horizon
+	}
+	if hs := readStats(); hs.Advances != 0 {
+		t.Fatalf("fresh server reports %d advances", hs.Advances)
+	}
+	q := f.Requests[0]
+	postJSON(t, ts.URL+"/v1/reservations", ReservationRequest{User: q.User, Video: q.Video, Start: q.Start})
+	if resp := postJSON(t, ts.URL+"/v1/advance", AdvanceRequest{To: 60}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("advance: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/advance", AdvanceRequest{To: 120}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("advance: status %d", resp.StatusCode)
+	}
+	// A regressing advance fails and must not count.
+	postJSON(t, ts.URL+"/v1/advance", AdvanceRequest{To: 30})
+	if hs := readStats(); hs.Advances != 2 {
+		t.Fatalf("advances = %d, want 2 (regressing advance counted?)", hs.Advances)
+	}
+}

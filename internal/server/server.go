@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/vodsim/vsp/internal/analysis"
 	"github.com/vodsim/vsp/internal/billing"
@@ -48,6 +50,12 @@ type Server struct {
 	limiter *limiter
 	mux     *http.ServeMux
 	handler http.Handler
+
+	// Epoch-advance telemetry for /v1/stats: how many advances committed
+	// and how long they took in aggregate, so a load harness (or the
+	// gateway's poller) can read advance lag without scraping logs.
+	advances     atomic.Uint64
+	advanceNanos atomic.Int64
 
 	// Replication & failover (see replication.go). lead is always set;
 	// shipper only on followers built with Options.ReplicateFrom.
@@ -215,6 +223,12 @@ type HorizonStats struct {
 	Pending       int          `json:"pending"`
 	CommittedCost units.Money  `json:"committed_cost"`
 	Durable       bool         `json:"durable"`
+	// Advances counts committed POST /v1/advance epoch closes and
+	// AdvanceMS their cumulative in-handler time, so advance lag is
+	// observable per node (the load harness and the gateway poller
+	// divide one by the other).
+	Advances  uint64 `json:"advances"`
+	AdvanceMS int64  `json:"advance_ms"`
 }
 
 // OverloadStats reports the admission-control counters.
@@ -246,6 +260,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Pending:       s.horizon.Pending(),
 			CommittedCost: s.horizon.Cost(),
 			Durable:       s.horizon.Durable(),
+			Advances:      s.advances.Load(),
+			AdvanceMS:     time.Duration(s.advanceNanos.Load()).Milliseconds(),
 		},
 		Overload:    ov,
 		Recovery:    s.horizon.Recovery(),

@@ -1,12 +1,14 @@
 // Package stats provides the small descriptive-statistics toolkit the
 // experiment harness uses to aggregate sweep results into the series and
-// tables the paper reports.
+// tables the paper reports, plus the nearest-rank percentile summaries
+// the load harnesses report latencies with.
 package stats
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 )
 
 // Point is one (x, y) sample of a sweep series.
@@ -98,6 +100,68 @@ func Summarize(xs []float64) Summary {
 
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g std=%.4g", s.N, s.Mean, s.Min, s.Max, s.Std)
+}
+
+// NearestRank returns the 0-based index of the p-th percentile of a
+// sorted sample of size n under the nearest-rank definition:
+// ceil(n·p/100) − 1, clamped to [0, n−1]. Note the −1: the naive
+// n·p/100 indexes one rank too high (the p50 of 100 samples is the
+// 50th sorted value, index 49, not the 51st).
+func NearestRank(n int, p float64) int {
+	if n <= 0 {
+		return 0
+	}
+	i := int(math.Ceil(float64(n)*p/100)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Percentile returns the p-th percentile of xs, which must be sorted
+// ascending, under the nearest-rank definition. An empty sample yields 0.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[NearestRank(len(sorted), p)]
+}
+
+// LatencySummary condenses round-trip duration samples the way the load
+// harnesses report them. Percentiles are exact nearest-rank values over
+// the full sorted sample set — no sketching.
+type LatencySummary struct {
+	N    int           `json:"n"`
+	P50  time.Duration `json:"p50_ns"`
+	P95  time.Duration `json:"p95_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	Max  time.Duration `json:"max_ns"`
+	Mean time.Duration `json:"mean_ns"`
+}
+
+// SummarizeLatency computes the summary of samples, sorting the slice in
+// place. An empty sample yields zeros.
+func SummarizeLatency(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	n := len(samples)
+	return LatencySummary{
+		N:    n,
+		P50:  samples[NearestRank(n, 50)],
+		P95:  samples[NearestRank(n, 95)],
+		P99:  samples[NearestRank(n, 99)],
+		Max:  samples[n-1],
+		Mean: sum / time.Duration(n),
+	}
 }
 
 // Percent returns 100·a/b, or 0 when b is 0.

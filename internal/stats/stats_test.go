@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSeriesBasics(t *testing.T) {
@@ -79,6 +80,82 @@ func TestPercent(t *testing.T) {
 	}
 	if Percent(1, 0) != 0 {
 		t.Error("Percent by zero must be 0")
+	}
+}
+
+// TestNearestRankExact pins the nearest-rank definition on exact small
+// sample sets. The regression of note: with 100 samples 1..100, the p50
+// is the 50th sorted value (index 49) — the pre-fix len*p/100 indexing
+// read the 51st.
+func TestNearestRankExact(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{100, 50, 49},  // the off-by-one the fix pins: 50th value, not 51st
+		{100, 99, 98},  // p99 of 100 samples is the 99th value
+		{100, 100, 99}, // p100 is the max
+		{100, 1, 0},
+		{100, 0, 0},
+		{1, 50, 0},
+		{1, 99, 0},
+		{2, 50, 0}, // ceil(1) - 1
+		{2, 51, 1},
+		{4, 50, 1},  // [10,20,30,40] → p50 = 20
+		{4, 99, 3},  // ceil(3.96) - 1
+		{5, 50, 2},  // odd n: the middle value
+		{10, 90, 8}, // ceil(9) - 1
+		{10, 91, 9},
+		{0, 50, 0},
+	}
+	for _, c := range cases {
+		if got := NearestRank(c.n, c.p); got != c.want {
+			t.Errorf("NearestRank(%d, %g) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileValues(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if p := Percentile(sorted, 50); p != 20 {
+		t.Errorf("p50 of [10 20 30 40] = %g, want 20", p)
+	}
+	if p := Percentile(sorted, 99); p != 40 {
+		t.Errorf("p99 = %g, want 40", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %g", p)
+	}
+	// 1..100: p50 must be 50 exactly.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	if p := Percentile(big, 50); p != 50 {
+		t.Errorf("p50 of 1..100 = %g, want 50", p)
+	}
+	if p := Percentile(big, 99); p != 99 {
+		t.Errorf("p99 of 1..100 = %g, want 99", p)
+	}
+}
+
+func TestSummarizeLatency(t *testing.T) {
+	// Unsorted on purpose: SummarizeLatency sorts in place.
+	samples := []time.Duration{40, 10, 30, 20}
+	ls := SummarizeLatency(samples)
+	if ls.N != 4 || ls.P50 != 20 || ls.P99 != 40 || ls.Max != 40 || ls.Mean != 25 {
+		t.Errorf("summary = %+v", ls)
+	}
+	if ls.P95 != 40 {
+		t.Errorf("p95 = %v, want 40", ls.P95)
+	}
+	if got := SummarizeLatency(nil); got != (LatencySummary{}) {
+		t.Errorf("empty latency summary = %+v", got)
+	}
+	one := SummarizeLatency([]time.Duration{7})
+	if one.P50 != 7 || one.P99 != 7 || one.Max != 7 || one.Mean != 7 {
+		t.Errorf("single-sample summary = %+v", one)
 	}
 }
 

@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/vodsim/vsp/internal/media"
+	"github.com/vodsim/vsp/internal/simtime"
+	"github.com/vodsim/vsp/internal/topology"
+)
+
+// countingWriter tracks bytes written without retaining them, so a large
+// emit can be measured without the buffer itself dominating memory.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// Round-trip property (both formats): generate -> stream out -> stream
+// in must reproduce the in-memory GeneratePattern set byte-identically.
+func TestStreamRoundTripMatchesInMemory(t *testing.T) {
+	topo, cat := patternFixture(t, 5)
+	p := Pattern{
+		Base:     Config{Seed: 4, Locality: 0.3},
+		Requests: 2000,
+		Diurnal:  Diurnal{Strength: 0.6},
+		Flash:    []Flash{{At: simtime.Time(18 * simtime.Hour), Boost: 2, Video: 3, Share: 0.5}},
+		Drift:    Drift{Interval: 2 * simtime.Hour},
+	}
+	want, err := GeneratePattern(topo, cat, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"csv", "jsonl"} {
+		t.Run(format, func(t *testing.T) {
+			var buf bytes.Buffer
+			var tw TraceWriter
+			if format == "csv" {
+				tw = NewCSVTraceWriter(&buf)
+			} else {
+				tw = NewJSONLTraceWriter(&buf)
+			}
+			if err := p.Stream(topo, cat, tw.Write); err != nil {
+				t.Fatal(err)
+			}
+			if err := tw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			var tr TraceReader
+			if format == "csv" {
+				tr = NewCSVTraceReader(&buf, topo, cat)
+			} else {
+				tr = NewJSONLTraceReader(&buf, topo, cat)
+			}
+			got, err := ReadAllTrace(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round-trip length %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("row %d diverged after %s round-trip: %+v != %+v", i, format, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// The stream is identical regardless of how the consumer chunks it:
+// PatternReader with different channel buffers, and Stream directly,
+// all yield the same sequence for one seed.
+func TestStreamDeterministicAcrossChunkSizes(t *testing.T) {
+	topo, cat := patternFixture(t, 4)
+	p := Pattern{
+		Base:     Config{Seed: 99, Locality: 0.5},
+		Requests: 1500,
+		Diurnal:  Diurnal{Strength: 0.7},
+		Churn:    Churn{Interval: 3 * simtime.Hour, Fraction: 0.2},
+		Regions:  2, CohortShare: 0.5,
+	}
+	want, err := GeneratePattern(topo, cat, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, buffer := range []int{1, 7, 256, 4096} {
+		pr := NewPatternReader(topo, cat, p, buffer)
+		var got Set
+		for {
+			r, err := pr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, r)
+		}
+		pr.Close()
+		if len(got) != len(want) {
+			t.Fatalf("buffer %d: %d requests, want %d", buffer, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("buffer %d: row %d differs: %+v != %+v", buffer, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPatternReaderEarlyClose(t *testing.T) {
+	topo, cat := patternFixture(t, 4)
+	pr := NewPatternReader(topo, cat, Pattern{Base: Config{Seed: 1}, Requests: 100000}, 4)
+	for i := 0; i < 10; i++ {
+		if _, err := pr.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr.Close() // must not leak or deadlock the generator goroutine
+	pr.Close() // idempotent
+}
+
+func TestPatternReaderSurfacesError(t *testing.T) {
+	topo, cat := patternFixture(t, 4)
+	pr := NewPatternReader(topo, cat, Pattern{}, 4) // Requests == 0: invalid
+	defer pr.Close()
+	if _, err := pr.Next(); err == nil || err == io.EOF {
+		t.Fatalf("invalid pattern surfaced %v, want validation error", err)
+	}
+}
+
+// Streaming a 1M-request trace must not materialize it: heap growth
+// during the emit stays far below the ~24 MB the Set itself would need.
+func TestStreamBoundedMemoryMillionRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-request emit skipped in -short mode")
+	}
+	topo, cat := patternFixture(t, 10)
+	p := Pattern{
+		Base:     Config{Seed: 8},
+		Requests: 1_000_000,
+		Diurnal:  Diurnal{Strength: 0.5},
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	cw := &countingWriter{}
+	tw := NewCSVTraceWriter(cw)
+	emitted := 0
+	err := p.Stream(topo, cat, func(r Request) error {
+		emitted++
+		return tw.Write(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	if emitted != p.Requests {
+		t.Fatalf("emitted %d of %d", emitted, p.Requests)
+	}
+	if cw.n == 0 {
+		t.Fatal("no bytes written")
+	}
+	// HeapAlloc may shrink across the GC cycle; only growth matters.
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	const limit = 8 << 20 // one slot's events + the weight grid, with slack
+	if growth > limit {
+		t.Fatalf("heap grew %d bytes streaming 1M requests (limit %d): trace is materializing", growth, limit)
+	}
+}
+
+func TestJSONLReaderErrors(t *testing.T) {
+	topo := topology.Star(topology.GenConfig{Storages: 2, UsersPerStorage: 2})
+	cat := testCatalog(t, 5)
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "nope\n"},
+		{"unknown user", `{"user":99,"video":1,"start":100}` + "\n"},
+		{"unknown video", `{"user":0,"video":99,"start":100}` + "\n"},
+		{"negative start", `{"user":0,"video":1,"start":-5}` + "\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := NewJSONLTraceReader(strings.NewReader(c.in), topo, cat)
+			if _, err := tr.Next(); err == nil || err == io.EOF {
+				t.Fatalf("expected error for %q, got %v", c.in, err)
+			}
+		})
+	}
+	// Blank lines are tolerated; empty input is a clean EOF.
+	tr := NewJSONLTraceReader(strings.NewReader("\n\n"), topo, cat)
+	if _, err := tr.Next(); err != io.EOF {
+		t.Fatalf("blank-line input: %v, want EOF", err)
+	}
+}
+
+func TestJSONLWriterOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewJSONLTraceWriter(&buf)
+	if err := tw.Write(Request{User: 3, Video: 7, Start: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	for _, want := range []string{`"user":3`, `"video":7`, `"start":42`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("JSONL line %q missing %s", line, want)
+		}
+	}
+}
+
+var sinkVideo media.VideoID
+
+func BenchmarkPatternStream100k(b *testing.B) {
+	topo := topology.Metro(topology.GenConfig{Storages: 8, UsersPerStorage: 10}, 1)
+	cat, err := media.Generate(media.GenConfig{Titles: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Pattern{
+		Base:     Config{Seed: 1, Locality: 0.3},
+		Requests: 100_000,
+		Diurnal:  Diurnal{Strength: 0.6},
+		Flash:    []Flash{{At: simtime.Time(20 * simtime.Hour), Boost: 4, Video: 0, Share: 0.7}},
+		Regions:  4, CohortShare: 0.3,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := p.Stream(topo, cat, func(r Request) error {
+			sinkVideo = r.Video
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,10 +23,13 @@ import (
 )
 
 // Request is one reservation: user asks for video starting at Start.
+// The JSON field names match the intake wire format (server
+// ReservationRequest), so a JSONL trace line can be submitted as-is;
+// decoding is case-insensitive, so older capitalized payloads still load.
 type Request struct {
-	User  topology.UserID
-	Video media.VideoID
-	Start simtime.Time
+	User  topology.UserID `json:"user"`
+	Video media.VideoID   `json:"video"`
+	Start simtime.Time    `json:"start"`
 }
 
 // Set is a batch of requests for one scheduling cycle.
@@ -215,7 +218,7 @@ func Generate(topo *topology.Topology, catalog *media.Catalog, cfg Config) (Set,
 			start := drawStart(rng, cfg)
 			rank := zipf.Draw(rng)
 			if cfg.Locality > 0 && rng.Float64() < cfg.Locality {
-				rank = perms[u.Local][rank]
+				rank = remapRank(perms, u.Local, rank)
 			}
 			set = append(set, Request{
 				User:  u.ID,
@@ -239,6 +242,19 @@ func localPermutations(topo *topology.Topology, titles int, cfg Config, rng *ran
 		perms[is] = rng.Perm(titles)
 	}
 	return perms
+}
+
+// remapRank sends a drawn popularity rank through the local node's
+// catalog permutation. Permutations exist only for the intermediate
+// storages; a user homed anywhere else (a topology form where users sit
+// on the warehouse, say) falls back to the identity mapping instead of
+// indexing a nil slice and panicking.
+func remapRank(perms map[topology.NodeID][]int, local topology.NodeID, rank int) int {
+	perm, ok := perms[local]
+	if !ok {
+		return rank
+	}
+	return perm[rank]
 }
 
 func drawStart(rng *rand.Rand, cfg Config) simtime.Time {

@@ -314,6 +314,48 @@ func TestLocalityDiversifiesNeighborhoods(t *testing.T) {
 	}
 }
 
+// Regression: the locality remap used to index perms[u.Local] directly.
+// Permutations are built only for topo.Storages(), so a user homed on a
+// node outside that set (no Builder path creates one today, but the spec
+// format and future topology forms can) hit a nil permutation and
+// panicked on perm[rank]. The remap now falls back to the identity
+// mapping for any node without a permutation.
+func TestRemapRankMissingPermIsIdentity(t *testing.T) {
+	perms := map[topology.NodeID][]int{
+		1: {2, 0, 1},
+	}
+	// Known node: remapped.
+	if got := remapRank(perms, 1, 0); got != 2 {
+		t.Errorf("remapRank(known, 0) = %d, want 2", got)
+	}
+	// Node with no permutation (e.g. the warehouse): identity, no panic.
+	for _, rank := range []int{0, 1, 2} {
+		if got := remapRank(perms, 0, rank); got != rank {
+			t.Errorf("remapRank(missing, %d) = %d, want identity", rank, got)
+		}
+	}
+	// Nil map (locality disabled): identity too.
+	if got := remapRank(nil, 5, 7); got != 7 {
+		t.Errorf("remapRank(nil map) = %d, want 7", got)
+	}
+}
+
+// Every user of a valid topology has a permutation, and full locality
+// keeps every remapped rank inside the catalog.
+func TestLocalityRemapCoversAllUsers(t *testing.T) {
+	topo := topology.Metro(topology.GenConfig{Storages: 5, UsersPerStorage: 3, Capacity: units.GB}, 7)
+	cat := testCatalog(t, 30)
+	set, err := Generate(topo, cat, Config{Alpha: 0.1, Seed: 11, Locality: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range set {
+		if int(r.Video) < 0 || int(r.Video) >= cat.Len() {
+			t.Fatalf("remapped video %d outside catalog", r.Video)
+		}
+	}
+}
+
 func TestLocalityValidation(t *testing.T) {
 	topo := topology.Star(topology.GenConfig{Storages: 2, UsersPerStorage: 1, Capacity: units.GB})
 	cat := testCatalog(t, 5)

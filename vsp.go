@@ -26,6 +26,7 @@ import (
 	"github.com/vodsim/vsp/internal/gateway"
 	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/ivs"
+	"github.com/vodsim/vsp/internal/loadgen"
 	"github.com/vodsim/vsp/internal/media"
 	"github.com/vodsim/vsp/internal/occupancy"
 	"github.com/vodsim/vsp/internal/online"
@@ -76,6 +77,22 @@ type (
 	WorkloadConfig = workload.Config
 	// Arrival selects the request start-time process.
 	Arrival = workload.Arrival
+
+	// WorkloadPattern composes structured demand — diurnal cycle,
+	// premiere flash crowds, rate windows, rank drift, catalog churn and
+	// regional cohorts — into a chronological streaming trace
+	// (DESIGN.md §14).
+	WorkloadPattern = workload.Pattern
+	// Diurnal shapes the daily demand cycle of a WorkloadPattern.
+	Diurnal = workload.Diurnal
+	// FlashCrowd is one premiere rate bump of a WorkloadPattern.
+	FlashCrowd = workload.Flash
+	// RateWindow scales a WorkloadPattern's rate over an interval.
+	RateWindow = workload.Window
+	// TraceWriter streams reservation requests out (CSV or JSONL).
+	TraceWriter = workload.TraceWriter
+	// TraceReader streams reservation requests in, validating each.
+	TraceReader = workload.TraceReader
 
 	// Schedule is a complete service schedule (deliveries + residencies).
 	Schedule = schedule.Schedule
@@ -307,6 +324,27 @@ var GenerateWorkload = workload.Generate
 var (
 	ReadTrace  = workload.ReadCSV
 	WriteTrace = workload.WriteCSV
+)
+
+// Streaming trace pipeline: pattern generation and the record-at-a-time
+// writer/reader pair behind it (CSV and JSONL), plus the closed-loop
+// HTTP load harness that replays traces against vspserve/vspgateway
+// (see cmd/vspgen -kind trace and cmd/vspload).
+var (
+	GeneratePatternWorkload = workload.GeneratePattern
+	NewPatternReader        = workload.NewPatternReader
+	NewCSVTraceWriter       = workload.NewCSVTraceWriter
+	NewCSVTraceReader       = workload.NewCSVTraceReader
+	NewJSONLTraceWriter     = workload.NewJSONLTraceWriter
+	NewJSONLTraceReader     = workload.NewJSONLTraceReader
+	ReadAllTrace            = workload.ReadAllTrace
+	RunLoad                 = loadgen.Run
+)
+
+// Load-harness configuration and result (internal/loadgen).
+type (
+	LoadConfig = loadgen.Config
+	LoadResult = loadgen.Result
 )
 
 // Sharded intake tier: the gateway constructor, the placement policies
