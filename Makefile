@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test vet bench bench-json bench-smoke race soak cover fuzz figures results examples failover-demo sharded-demo load-demo bench-load clean
+.PHONY: all build test vet bench bench-json bench-smoke race soak chaos-soak chaos-bench cover fuzz figures results examples failover-demo sharded-demo load-demo bench-load clean
 
 all: build vet test
 
@@ -23,6 +23,21 @@ race:
 
 soak:
 	$(GO) test -tags soak -run TestSoak -v .
+
+# Invariant-checking chaos soak: a paced trace through a 3-shard gateway
+# under a seed-deterministic fault schedule (partitions, flapping, gray
+# latency, 5xx bursts), asserting exactly-once commits, per-shard audit,
+# merged-plan validity, and that no breaker wedges open (see
+# internal/gateway/chaos_soak_test.go).
+chaos-soak:
+	$(GO) test -race -tags chaossoak -run TestChaosSoak -v ./internal/gateway
+
+# Gray-failure benchmark: one shard 2s slow, measured through vspload's
+# harness with breakers off and on; records both runs into
+# BENCH_load.json (p99 with breakers must be >=5x lower).
+chaos-bench:
+	CHAOS_BENCH_OUT=$(CURDIR)/BENCH_load.json $(GO) test -tags chaossoak \
+		-run TestGrayFailureBreakerBenefit -v -timeout 20m ./internal/gateway
 
 # Short fuzz passes over the parsers that face untrusted bytes: the WAL
 # decoder (crash/corruption trichotomy) and the schedule API decoder.

@@ -70,6 +70,11 @@ func main() {
 		autoAdvance = flag.Bool("auto-advance", true, "close a shard's epoch in the background when its intake trigger fires")
 		advanceLagH = flag.Float64("advance-lag-hours", 1, "hold auto-advance targets this many hours behind the newest acked arrival, so stragglers never land inside the frozen window")
 		idleTimeout = flag.Duration("idle-timeout", 120*time.Second, "keep-alive connection idle timeout")
+
+		breakerOn    = flag.Bool("breaker", true, "eject gray-failing shards with per-shard circuit breakers")
+		breakerOpen  = flag.Duration("breaker-open-for", gateway.DefaultBreakerOpenFor, "cool-off before an ejected shard is probed again")
+		breakerSlow  = flag.Duration("breaker-slow-call", 0, "count shard calls slower than this as failures (gray-failure ejection; 0 = off)")
+		shardTimeout = flag.Duration("shard-timeout", 0, "deadline for each shard intake call (0 = the client's own deadline only)")
 	)
 	var shards []gateway.ShardConfig
 	flag.Func("shard", "shard spec id=primaryURL[,standbyURL] (repeatable, at least one)", func(v string) error {
@@ -105,6 +110,12 @@ func main() {
 		PollInterval: *pollEvery,
 		AutoAdvance:  *autoAdvance,
 		AdvanceLag:   simtime.Duration(*advanceLagH * float64(simtime.Hour)),
+		ShardTimeout: *shardTimeout,
+		Breaker: gateway.BreakerConfig{
+			Disabled: !*breakerOn,
+			OpenFor:  *breakerOpen,
+			SlowCall: *breakerSlow,
+		},
 	})
 	if err != nil {
 		log.Fatalf("vspgateway: %v", err)

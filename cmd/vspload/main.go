@@ -39,6 +39,7 @@ type options struct {
 	target          string
 	tracePath       string
 	format          string
+	name            string
 	concurrency     int
 	advanceLagHours float64
 	noAdvance       bool
@@ -52,6 +53,7 @@ func main() {
 	flag.StringVar(&o.target, "target", "", "base URL of the intake surface — vspserve or vspgateway (required)")
 	flag.StringVar(&o.tracePath, "trace", "", "workload trace to replay, CSV or JSONL (required; - reads stdin)")
 	flag.StringVar(&o.format, "format", "", "trace format: csv | jsonl (default: by file extension)")
+	flag.StringVar(&o.name, "name", "", "label this run; with -out, merge into an array keyed by name instead of overwriting")
 	flag.IntVar(&o.concurrency, "c", 8, "closed-loop worker count")
 	flag.Float64Var(&o.advanceLagHours, "advance-lag-hours", 2, "hold epoch advance targets this many hours behind the newest submitted arrival")
 	flag.BoolVar(&o.noAdvance, "no-advance", false, "never POST /v1/advance (the target advances itself, e.g. a gateway with -auto-advance)")
@@ -111,16 +113,13 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	res.Name = o.name
 
 	if !o.quiet {
 		printSummary(res)
 	}
 	if o.outPath != "" {
-		b, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(o.outPath, append(b, '\n'), 0o644); err != nil {
+		if err := writeResult(o.outPath, res); err != nil {
 			return err
 		}
 	}
@@ -130,12 +129,84 @@ func run(o options) error {
 	return nil
 }
 
+// writeResult persists the measurement. An unnamed run keeps the legacy
+// behaviour: the file is one result object, overwritten. A named run
+// merges into an array of results keyed by name — an existing entry with
+// the same name is replaced, others pass through byte-for-byte, and a
+// legacy single-object file becomes the array's first element.
+func writeResult(path string, res *loadgen.Result) error {
+	nb, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	if res.Name == "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	existing, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	merged, err := mergeNamed(existing, res.Name, nb)
+	if err != nil {
+		return fmt.Errorf("merging into %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(merged, '\n'), 0o644)
+}
+
+func mergeNamed(existing []byte, name string, entry json.RawMessage) ([]byte, error) {
+	var entries []json.RawMessage
+	if trimmed := strings.TrimSpace(string(existing)); trimmed != "" {
+		if strings.HasPrefix(trimmed, "[") {
+			if err := json.Unmarshal([]byte(trimmed), &entries); err != nil {
+				return nil, err
+			}
+		} else {
+			// Legacy single-object file: keep it as the first element.
+			if !json.Valid([]byte(trimmed)) {
+				return nil, fmt.Errorf("existing file is not valid JSON")
+			}
+			entries = []json.RawMessage{json.RawMessage(trimmed)}
+		}
+	}
+	replaced := false
+	for i, e := range entries {
+		var peek struct {
+			Name string `json:"name"`
+		}
+		if json.Unmarshal(e, &peek) == nil && peek.Name == name {
+			entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		entries = append(entries, entry)
+	}
+	return json.MarshalIndent(entries, "", "  ")
+}
+
 func printSummary(res *loadgen.Result) {
 	fmt.Printf("target      %s  (x%d workers)\n", res.Target, res.Concurrency)
 	fmt.Printf("submitted   %d in %s  (%.0f accepted/s)\n",
 		res.Submitted, time.Duration(res.ElapsedMS)*time.Millisecond, res.AcceptedPerSec)
-	fmt.Printf("outcomes    %d accepted, %d shed (%.1f%%), %d late, %d errors\n",
-		res.Accepted, res.Shed, 100*res.ShedRate, res.Late, res.Errors)
+	fmt.Printf("outcomes    %d accepted (%.1f%% available), %d shed (%.1f%%), %d late, %d errors\n",
+		res.Accepted, 100*res.Availability, res.Shed, 100*res.ShedRate, res.Late, res.Errors)
+	if len(res.ErrorsByCause) > 0 {
+		causes := make([]string, 0, len(res.ErrorsByCause))
+		for c := range res.ErrorsByCause {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		fmt.Printf("err causes ")
+		for _, c := range causes {
+			fmt.Printf(" %s=%d", c, res.ErrorsByCause[c])
+		}
+		fmt.Println()
+	}
 	fmt.Printf("submit      p50 %s  p95 %s  p99 %s  max %s\n",
 		res.Submit.P50, res.Submit.P95, res.Submit.P99, res.Submit.Max)
 	if res.Advances > 0 {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -85,6 +86,68 @@ func TestSmokeAgainstServer(t *testing.T) {
 	}
 	if res.Submitted != 60 || res.Accepted == 0 || res.Submit.N != 60 {
 		t.Fatalf("result file: %+v", res)
+	}
+}
+
+// Named results merge into an array: legacy single-object files are
+// wrapped, same-name entries are replaced in place, foreign entries
+// survive untouched.
+func TestMergeNamed(t *testing.T) {
+	entry := func(name string, p99 int) json.RawMessage {
+		return json.RawMessage(fmt.Sprintf(`{"name":%q,"p99":%d}`, name, p99))
+	}
+	parse := func(t *testing.T, b []byte) []map[string]any {
+		t.Helper()
+		var out []map[string]any
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("merged output not a JSON array: %v\n%s", err, b)
+		}
+		return out
+	}
+
+	// Empty file: a fresh one-element array.
+	b, err := mergeNamed(nil, "a", entry("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parse(t, b); len(got) != 1 || got[0]["name"] != "a" {
+		t.Fatalf("fresh merge: %s", b)
+	}
+
+	// Legacy single object: wrapped as the first element, new entry after.
+	legacy := []byte(`{"target":"http://old","submitted":9}`)
+	b, err = mergeNamed(legacy, "a", entry("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parse(t, b)
+	if len(got) != 2 || got[0]["target"] != "http://old" || got[1]["name"] != "a" {
+		t.Fatalf("legacy wrap: %s", b)
+	}
+
+	// Same-name entry replaced in place; the unnamed legacy entry and the
+	// other named entry pass through.
+	b2, err := mergeNamed(b, "a", entry("a", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = parse(t, b2)
+	if len(got) != 2 || got[1]["p99"] != float64(2) {
+		t.Fatalf("replace in place: %s", b2)
+	}
+
+	// A different name appends.
+	b3, err := mergeNamed(b2, "b", entry("b", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got = parse(t, b3); len(got) != 3 || got[2]["name"] != "b" {
+		t.Fatalf("append: %s", b3)
+	}
+
+	// Garbage in the existing file is an error, not silent data loss.
+	if _, err := mergeNamed([]byte("not json"), "a", entry("a", 1)); err == nil {
+		t.Fatal("garbage existing file accepted")
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/vodsim/vsp/internal/chaos"
 	"github.com/vodsim/vsp/internal/cli"
 	"github.com/vodsim/vsp/internal/horizon"
 	"github.com/vodsim/vsp/internal/replica"
@@ -74,6 +75,8 @@ func main() {
 		shardID     = flag.String("shard-id", "", "shard label reported in the /v1/stats shard block when this node serves behind a vspgateway tier")
 		replFrom    = flag.String("replicate-from", "", "primary base URL to ship the WAL from; makes this node a warm standby")
 		replEvery   = flag.Duration("replicate-every", 0, "idle poll period of the WAL shipper (0 = default; a backlog drains continuously)")
+		chaosSpec   = flag.String("chaos", "", "fault-injection spec wrapped around the HTTP surface, e.g. 'latency=20ms..80ms;err=0.2:503' (see internal/chaos.ParseSpec; testing only)")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "seed for -chaos fault decisions (same seed + same traffic = same faults)")
 	)
 	flag.Parse()
 	if *topoPath == "" || *catPath == "" {
@@ -140,9 +143,19 @@ func main() {
 				st.TailTruncations)
 		}
 	}
+	var handler http.Handler = api
+	if *chaosSpec != "" {
+		rules, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			log.Fatalf("vspserve: -chaos: %v", err)
+		}
+		inj := chaos.New(*chaosSeed, rules...)
+		handler = inj.Middleware(handler)
+		log.Printf("vspserve: CHAOS ENABLED — %d fault rule(s), seed %d; this node will misbehave on purpose", len(rules), *chaosSeed)
+	}
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      api,
+		Handler:      handler,
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 120 * time.Second,
 		IdleTimeout:  *idleTimeout,

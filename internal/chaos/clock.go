@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the injector so fault schedules (windows,
+// flapping duty cycles) and injected latency can run against a virtual
+// clock in deterministic tests and against the wall clock in soaks.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// VirtualClock is a manually advanced clock. Sleep parks the caller
+// until Advance moves the clock past its wake time, which makes flap
+// phases and latency windows exactly reproducible in unit tests.
+type VirtualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	at time.Time
+	ch chan struct{}
+}
+
+// NewVirtualClock starts a virtual clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward and wakes every sleeper whose
+// deadline has passed.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var rest []*waiter
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			close(w.ch)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+	c.mu.Unlock()
+}
+
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	if d <= 0 {
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+	w := &waiter{at: c.now.Add(d), ch: make(chan struct{})}
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+
+	select {
+	case <-ctx.Done():
+		c.mu.Lock()
+		for i, o := range c.waiters {
+			if o == w {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+		return ctx.Err()
+	case <-w.ch:
+		return nil
+	}
+}
+
+// Sleepers reports how many goroutines are currently parked in Sleep,
+// sorted wake times first; tests use it to advance exactly when the
+// system under test has quiesced.
+func (c *VirtualClock) Sleepers() []time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Time, len(c.waiters))
+	for i, w := range c.waiters {
+		out[i] = w.at
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Middleware wraps a handler so the *server* misbehaves for every
+// caller: delays before handling, aborted connections, synthesized
+// error answers, and responses cut after a byte budget. Rules are
+// matched against the request's Host header and URL path.
+//
+// Drops and dirty cuts abort the connection via http.ErrAbortHandler,
+// which net/http recovers from by severing the TCP stream — the client
+// observes a transport error or an unexpected EOF mid-body.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		o := in.decide(r.Host, r.URL.Path)
+
+		if o.delay > 0 {
+			in.delayed.Add(1)
+			if err := in.clock.Sleep(r.Context(), o.delay); err != nil {
+				panic(http.ErrAbortHandler)
+			}
+		}
+		if o.drop {
+			in.dropped.Add(1)
+			panic(http.ErrAbortHandler)
+		}
+		if o.code != 0 {
+			in.errored.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			if o.code == http.StatusServiceUnavailable || o.code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(o.code)
+			fmt.Fprintf(w, "{\"error\":\"chaos: injected %d\"}\n", o.code)
+			return
+		}
+		if o.cut >= 0 {
+			in.cut.Add(1)
+			cw := &cutWriter{rw: w, remain: o.cut}
+			next.ServeHTTP(cw, r)
+			if cw.truncated && !o.cutClean {
+				// Push the kept prefix onto the wire before tearing the
+				// connection, so the client fails mid-body rather than
+				// before the response starts.
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
+				panic(http.ErrAbortHandler)
+			}
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// cutWriter forwards at most remain body bytes and silently discards
+// the rest. The middleware decides afterwards whether the truncation
+// ends cleanly or tears the connection.
+type cutWriter struct {
+	rw        http.ResponseWriter
+	remain    int
+	truncated bool
+}
+
+func (c *cutWriter) Header() http.Header { return c.rw.Header() }
+
+func (c *cutWriter) WriteHeader(code int) {
+	// The advertised length no longer matches what we will send; drop
+	// it so a clean cut reads as a short-but-well-formed stream.
+	c.rw.Header().Del("Content-Length")
+	c.rw.WriteHeader(code)
+}
+
+func (c *cutWriter) Write(p []byte) (int, error) {
+	if c.remain <= 0 {
+		c.truncated = c.truncated || len(p) > 0
+		return len(p), nil
+	}
+	if len(p) > c.remain {
+		c.truncated = true
+		if _, err := c.rw.Write(p[:c.remain]); err != nil {
+			return 0, err
+		}
+		c.remain = 0
+		return len(p), nil
+	}
+	n, err := c.rw.Write(p)
+	c.remain -= n
+	return n, err
+}

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Transport is a fault-injecting http.RoundTripper. Wrap a client's
+// transport with it to degrade that client's view of the hosts matched
+// by the injector's rules. Because the faults live on the caller's
+// side, two clients with different injectors see the same server
+// differently — the building block for asymmetric partitions.
+type Transport struct {
+	Injector *Injector
+	Base     http.RoundTripper // nil = http.DefaultTransport
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := t.Injector
+	o := in.decide(req.URL.Host, req.URL.Path)
+
+	if o.delay > 0 {
+		in.delayed.Add(1)
+		if err := in.clock.Sleep(req.Context(), o.delay); err != nil {
+			closeReqBody(req)
+			return nil, err
+		}
+	}
+	if o.drop {
+		in.dropped.Add(1)
+		closeReqBody(req)
+		return nil, fmt.Errorf("chaos: connection to %s dropped", req.URL.Host)
+	}
+	if o.code != 0 {
+		in.errored.Add(1)
+		closeReqBody(req)
+		return syntheticResponse(req, o.code), nil
+	}
+
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || o.cut < 0 || resp.Body == nil {
+		return resp, err
+	}
+	in.cut.Add(1)
+	resp.Body = &cutReader{rc: resp.Body, remain: o.cut, clean: o.cutClean}
+	resp.ContentLength = -1
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+func closeReqBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+func syntheticResponse(req *http.Request, code int) *http.Response {
+	body := fmt.Sprintf("{\"error\":\"chaos: injected %d\"}\n", code)
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
+		h.Set("Retry-After", "1")
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// cutReader truncates a response body after remain bytes. A dirty cut
+// surfaces io.ErrUnexpectedEOF, like a connection torn mid-body; a
+// clean cut just ends early, like a tidy proxy that lost the tail.
+type cutReader struct {
+	rc     io.ReadCloser
+	remain int
+	clean  bool
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		if c.clean {
+			return 0, io.EOF
+		}
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.rc.Read(p)
+	c.remain -= n
+	return n, err
+}
+
+func (c *cutReader) Close() error { return c.rc.Close() }

@@ -7,13 +7,19 @@
 //	POST /v1/reservations    place on a shard per the Placement policy
 //	POST /v1/advance         broadcast; per-shard epoch results aggregated
 //	GET  /v1/plan            shard plans merged into one global schedule
-//	GET  /v1/stats           per-shard routing + polled load counters
+//	GET  /v1/stats           per-shard routing + breaker + polled counters
 //	GET  /healthz            gateway liveness
+//	GET  /readyz             tier readiness (≥1 shard routable)
 //
 // Placement is pluggable (round-robin, least-loaded, locality, hash; see
 // placement.go), and failure handling is automatic: a request hitting a
 // fenced or unreachable primary promotes the shard's standby through the
-// ordinary HTTP promote path and retries (failover.go).
+// ordinary HTTP promote path and retries (failover.go), while a shard
+// that keeps failing — or keeps answering too slowly, the gray failure a
+// dead-or-alive health check cannot see — is ejected from placement by a
+// per-shard circuit breaker (breaker.go) until a half-open probe clears
+// it. When every shard is ejected the gateway sheds with 503 +
+// Retry-After instead of queueing doomed work.
 package gateway
 
 import (
@@ -22,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -72,6 +79,16 @@ type Config struct {
 	// cross-client arrival skew: a straggler up to AdvanceLag behind the
 	// fastest client never lands inside the frozen window.
 	AdvanceLag simtime.Duration
+	// Breaker tunes the per-shard circuit breakers that eject failing
+	// or gray-slow shards from placement (see BreakerConfig). The zero
+	// value enables breakers with defaults; set Disabled to opt out.
+	Breaker BreakerConfig
+	// ShardTimeout bounds each forwarded intake call, failover retries
+	// included (0 = only the client's own deadline applies). It is the
+	// deadline the gateway propagates to the shard: one slow shard can
+	// then never pin an intake worker past this budget, and the blown
+	// deadline feeds the shard's breaker as a failure.
+	ShardTimeout time.Duration
 }
 
 // shardStats is one polled /v1/stats snapshot.
@@ -97,6 +114,7 @@ type shard struct {
 	routed      atomic.Uint64
 	failovers   atomic.Uint64
 	polled      atomic.Pointer[shardStats]
+	brk         *breaker // nil when breakers are disabled
 
 	// Auto-advance state: maxAt tracks the newest acked arrival instant,
 	// lastAdvance the last advance target (so targets never regress), and
@@ -130,9 +148,14 @@ type Gateway struct {
 	shards      []*shard
 	policy      Placement
 	retry       retryhttp.Options
-	autoAdvance bool
-	advanceLag  simtime.Duration
-	regions     []int // user -> region, nil without Config.Topo
+	autoAdvance  bool
+	advanceLag   simtime.Duration
+	shardTimeout time.Duration
+	regions      []int // user -> region, nil without Config.Topo
+
+	// sheds counts reservations the gateway itself refused because every
+	// shard's breaker was open (distinct from shard-side 429 sheds).
+	sheds atomic.Uint64
 
 	placeMu sync.Mutex // serializes Place with the outstanding bump
 
@@ -154,11 +177,12 @@ func New(cfg Config) (*Gateway, error) {
 		policy = RoundRobin()
 	}
 	g := &Gateway{
-		policy:      policy,
-		retry:       cfg.Retry,
-		autoAdvance: cfg.AutoAdvance,
-		advanceLag:  cfg.AdvanceLag,
-		stop:        make(chan struct{}),
+		policy:       policy,
+		retry:        cfg.Retry,
+		autoAdvance:  cfg.AutoAdvance,
+		advanceLag:   cfg.AdvanceLag,
+		shardTimeout: cfg.ShardTimeout,
+		stop:         make(chan struct{}),
 	}
 	seen := make(map[string]bool, len(cfg.Shards))
 	for i, sc := range cfg.Shards {
@@ -177,6 +201,7 @@ func New(cfg Config) (*Gateway, error) {
 			id:      id,
 			primary: strings.TrimRight(sc.Primary, "/"),
 			standby: strings.TrimRight(sc.Standby, "/"),
+			brk:     newBreaker(cfg.Breaker),
 		}
 		sh.lastAdvance.Store(-1)
 		g.shards = append(g.shards, sh)
@@ -186,6 +211,7 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("GET /healthz", g.handleHealth)
+	g.mux.HandleFunc("GET /readyz", g.handleReady)
 	g.mux.HandleFunc("GET /v1/stats", g.handleStats)
 	g.mux.HandleFunc("GET /v1/plan", g.handlePlan)
 	g.mux.HandleFunc("POST /v1/reservations", g.handleReservation)
@@ -221,19 +247,37 @@ func (g *Gateway) closed() bool {
 
 // place runs the policy and bumps the chosen shard's counters in one
 // critical section, so two concurrent placements can never both observe
-// the shard as idle.
+// the shard as idle. Shards with an open breaker are hidden from the
+// policy (degraded routing); an open breaker past its cool-off admits
+// this placement as its half-open probe, and probe slots the policy did
+// not use are released. Returns nil when every shard is ejected — the
+// caller must shed.
 func (g *Gateway) place(info RouteInfo) *shard {
+	now := time.Now()
 	g.placeMu.Lock()
 	defer g.placeMu.Unlock()
-	views := make([]View, len(g.shards))
+	views := make([]View, 0, len(g.shards))
+	eligible := make([]*shard, 0, len(g.shards))
 	for i, sh := range g.shards {
-		views[i] = sh.view(i)
+		if !sh.brk.allow(now) {
+			continue
+		}
+		views = append(views, sh.view(i))
+		eligible = append(eligible, sh)
+	}
+	if len(eligible) == 0 {
+		return nil
 	}
 	idx := g.policy.Place(info, views)
-	if idx < 0 || idx >= len(g.shards) {
+	if idx < 0 || idx >= len(eligible) {
 		idx = 0
 	}
-	sh := g.shards[idx]
+	sh := eligible[idx]
+	for _, other := range eligible {
+		if other != sh {
+			other.brk.release()
+		}
+	}
 	sh.outstanding.Add(1)
 	sh.routed.Add(1)
 	return sh
@@ -260,11 +304,24 @@ func (g *Gateway) handleReservation(w http.ResponseWriter, r *http.Request) {
 		info.Region = g.regions[req.User]
 	}
 	sh := g.place(info)
+	if sh == nil {
+		// Degraded mode bottomed out: every shard's breaker is open.
+		// Shed like an overloaded shard would, naming when to come back.
+		g.sheds.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("all shards ejected by circuit breakers; retry shortly"))
+		return
+	}
 	defer sh.outstanding.Add(-1)
+	ctx, cancel := g.shardContext(r)
+	defer cancel()
 	var ack server.ReservationResponse
-	err := g.forward(r.Context(), sh, func(base string) error {
-		return retryhttp.PostJSON(r.Context(), g.retry, base+"/v1/reservations", req, &ack)
+	t0 := time.Now()
+	err := g.forward(ctx, sh, func(base string) error {
+		return retryhttp.PostJSON(ctx, g.retry, base+"/v1/reservations", req, &ack)
 	})
+	recordOutcome(sh, time.Since(t0), err)
 	if err != nil {
 		writeUpstreamErr(w, sh, err)
 		return
@@ -278,6 +335,50 @@ func (g *Gateway) handleReservation(w http.ResponseWriter, r *http.Request) {
 		g.maybeAutoAdvance(sh)
 	}
 	writeJSON(w, http.StatusAccepted, ReservationResponse{ReservationResponse: ack, Shard: sh.id})
+}
+
+// shardContext derives the per-forward deadline: the configured
+// ShardTimeout, tightened further by an X-Request-Budget-Ms header when
+// the client names its own remaining budget. The request context stays
+// the parent, so client disconnects still cancel the forward.
+func (g *Gateway) shardContext(r *http.Request) (context.Context, context.CancelFunc) {
+	budget := g.shardTimeout
+	if h := r.Header.Get("X-Request-Budget-Ms"); h != "" {
+		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; budget == 0 || d < budget {
+				budget = d
+			}
+		}
+	}
+	if budget <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), budget)
+}
+
+// recordOutcome feeds one forwarded call into the shard's breaker.
+// Protocol answers below 500 — a shard-side 429 shed, a late-arrival
+// 409 — are the shard working as designed and count as successes; the
+// 5xx family, transport death, and a blown deadline count as failures.
+// A cancelled client says nothing about the shard and is not recorded.
+func recordOutcome(sh *shard, dur time.Duration, err error) {
+	if sh.brk == nil {
+		return
+	}
+	now := time.Now()
+	if err == nil {
+		sh.brk.record(now, dur, false)
+		return
+	}
+	var se *retryhttp.StatusError
+	if errors.As(err, &se) {
+		sh.brk.record(now, dur, se.Code >= 500)
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		return
+	}
+	sh.brk.record(now, dur, true)
 }
 
 // maybeAutoAdvance closes sh's epoch in the background. Concurrent
@@ -323,6 +424,9 @@ func (g *Gateway) advanceShard(ctx context.Context, sh *shard) {
 	err := g.forward(ctx, sh, func(base string) error {
 		return retryhttp.PostJSON(ctx, g.retry, base+"/v1/advance", server.AdvanceRequest{To: to}, &res)
 	})
+	// Epoch solves are legitimately slow, so an advance feeds the breaker
+	// only its error signal, never its duration.
+	recordOutcome(sh, 0, err)
 	if err != nil {
 		return // not fatal: the next EpochDue ack retries
 	}
@@ -338,23 +442,40 @@ type ShardEpoch struct {
 	ElapsedMS int64               `json:"elapsed_ms"`
 }
 
+// ShardFailure is one shard's slot in a partially failed broadcast:
+// which shard, what went wrong, and the HTTP status when the shard
+// answered with one (0 for transport-level deaths).
+type ShardFailure struct {
+	Shard  string `json:"shard"`
+	Error  string `json:"error"`
+	Status int    `json:"status,omitempty"`
+}
+
 // AdvanceResponse aggregates a broadcast epoch close. The top-level
 // fields mirror horizon.EpochResult's JSON, so single-server clients
 // (cmd/vsphorizon) decode it unchanged: counters are summed, Horizon is
 // the slowest (minimum) shard commit horizon, Epoch the largest shard
 // epoch index. LagMS is the epoch-advance lag — the spread between the
 // fastest and slowest shard's advance round-trip.
+//
+// A broadcast is not all-or-nothing: shards that advanced report their
+// results in Shards, shards that did not land in Failed, and only a
+// broadcast with zero successes is an error. A partitioned shard
+// therefore cannot veto the rest of the tier's epoch close; it catches
+// up on the next advance once reachable (targets are absolute instants,
+// so a missed epoch is re-covered, never skipped).
 type AdvanceResponse struct {
-	Epoch             int          `json:"epoch"`
-	Horizon           simtime.Time `json:"horizon"`
-	Admitted          int          `json:"admitted"`
-	Replanned         int          `json:"replanned"`
-	FrozenDeliveries  int          `json:"frozen_deliveries"`
-	FrozenResidencies int          `json:"frozen_residencies"`
-	Overflows         int          `json:"overflows"`
-	Cost              units.Money  `json:"cost"`
-	Shards            []ShardEpoch `json:"shards"`
-	LagMS             int64        `json:"lag_ms"`
+	Epoch             int            `json:"epoch"`
+	Horizon           simtime.Time   `json:"horizon"`
+	Admitted          int            `json:"admitted"`
+	Replanned         int            `json:"replanned"`
+	FrozenDeliveries  int            `json:"frozen_deliveries"`
+	FrozenResidencies int            `json:"frozen_residencies"`
+	Overflows         int            `json:"overflows"`
+	Cost              units.Money    `json:"cost"`
+	Shards            []ShardEpoch   `json:"shards"`
+	Failed            []ShardFailure `json:"failed,omitempty"`
+	LagMS             int64          `json:"lag_ms"`
 }
 
 func (g *Gateway) handleAdvance(w http.ResponseWriter, r *http.Request) {
@@ -371,7 +492,10 @@ func (g *Gateway) handleAdvance(w http.ResponseWriter, r *http.Request) {
 }
 
 // advanceAll broadcasts one advance to every shard concurrently and
-// aggregates the results. On failure it returns the offending shard.
+// aggregates whatever succeeded; shards that failed are reported in the
+// response's Failed list instead of vetoing the broadcast. Only when
+// every shard fails does it return an error (with the first offending
+// shard, for the error reply).
 func (g *Gateway) advanceAll(ctx context.Context, to simtime.Time) (AdvanceResponse, *shard, error) {
 	type outcome struct {
 		res horizon.EpochResult
@@ -391,21 +515,30 @@ func (g *Gateway) advanceAll(ctx context.Context, to simtime.Time) (AdvanceRespo
 			err := g.forward(ctx, sh, func(base string) error {
 				return retryhttp.PostJSON(ctx, g.retry, base+"/v1/advance", server.AdvanceRequest{To: to}, &res)
 			})
+			recordOutcome(sh, 0, err)
 			outs[i] = outcome{res: res, dur: time.Since(t0), err: err}
 		}(i, sh)
 	}
 	wg.Wait()
 	var agg AdvanceResponse
 	minDur, maxDur := time.Duration(-1), time.Duration(0)
+	first := true
 	for i, o := range outs {
 		sh := g.shards[i]
 		if o.err != nil {
-			return agg, sh, o.err
+			f := ShardFailure{Shard: sh.id, Error: o.err.Error()}
+			var se *retryhttp.StatusError
+			if errors.As(o.err, &se) {
+				f.Status = se.Code
+			}
+			agg.Failed = append(agg.Failed, f)
+			continue
 		}
 		storeMax(&sh.lastAdvance, int64(to))
-		if i == 0 || o.res.Horizon < agg.Horizon {
+		if first || o.res.Horizon < agg.Horizon {
 			agg.Horizon = o.res.Horizon
 		}
+		first = false
 		if o.res.Epoch > agg.Epoch {
 			agg.Epoch = o.res.Epoch
 		}
@@ -426,11 +559,50 @@ func (g *Gateway) advanceAll(ctx context.Context, to simtime.Time) (AdvanceRespo
 	if minDur >= 0 {
 		agg.LagMS = (maxDur - minDur).Milliseconds()
 	}
+	if len(agg.Shards) == 0 {
+		for i, o := range outs {
+			if o.err != nil {
+				return agg, g.shards[i], o.err
+			}
+		}
+	}
 	return agg, nil, nil
 }
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": len(g.shards)})
+}
+
+// ReadyResponse is the GET /readyz reply: the tier is ready while at
+// least one shard is routable (breaker closed, half-open, or open but
+// past its cool-off and so about to be probed).
+type ReadyResponse struct {
+	Ready         bool `json:"ready"`
+	HealthyShards int  `json:"healthy_shards"`
+	Shards        int  `json:"shards"`
+}
+
+// Ready reports tier readiness from the breakers alone — a pure
+// read, safe for load-balancer probes at any rate.
+func (g *Gateway) Ready() ReadyResponse {
+	now := time.Now()
+	resp := ReadyResponse{Shards: len(g.shards)}
+	for _, sh := range g.shards {
+		if sh.brk.viable(now) {
+			resp.HealthyShards++
+		}
+	}
+	resp.Ready = resp.HealthyShards > 0
+	return resp
+}
+
+func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
+	resp := g.Ready()
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // pollLoop refreshes the polled stats snapshots on the configured
@@ -493,6 +665,9 @@ type ShardStatus struct {
 	Failovers   uint64 `json:"failovers"`
 	Advances    uint64 `json:"advances"`
 	AdvanceMS   int64  `json:"advance_ms"`
+	// Breaker is the shard's circuit-breaker snapshot (absent when
+	// breakers are disabled).
+	Breaker *BreakerStatus `json:"breaker,omitempty"`
 	// Polled shard-side counters (zero until a poll succeeds).
 	Pending        int    `json:"pending"`
 	InFlight       int    `json:"in_flight"`
@@ -510,6 +685,12 @@ type StatsResponse struct {
 	Routed    uint64        `json:"routed_total"`
 	Shed      uint64        `json:"shed_total"`
 	Failovers uint64        `json:"failovers_total"`
+	// GatewayShed counts reservations the gateway refused itself
+	// because every shard's breaker was open (shard-side 429 sheds are
+	// in Shed).
+	GatewayShed uint64 `json:"gateway_shed_total"`
+	// HealthyShards is the breaker view of the tier, as in /readyz.
+	HealthyShards int `json:"healthy_shards"`
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -520,7 +701,8 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 // Stats assembles the gateway's view of the tier from the counters and
 // the most recent poll (call PollNow first for fresh shard-side fields).
 func (g *Gateway) Stats() StatsResponse {
-	resp := StatsResponse{Policy: g.policy.Name()}
+	now := time.Now()
+	resp := StatsResponse{Policy: g.policy.Name(), GatewayShed: g.sheds.Load()}
 	for _, sh := range g.shards {
 		sh.mu.Lock()
 		row := ShardStatus{ID: sh.id, Primary: sh.primary, Standby: sh.standby}
@@ -530,6 +712,10 @@ func (g *Gateway) Stats() StatsResponse {
 		row.Failovers = sh.failovers.Load()
 		row.Advances = sh.advances.Load()
 		row.AdvanceMS = time.Duration(sh.advanceNanos.Load()).Milliseconds()
+		row.Breaker = sh.brk.status(now)
+		if sh.brk.viable(now) {
+			resp.HealthyShards++
+		}
 		if ps := sh.polled.Load(); ps != nil {
 			row.Pending, row.InFlight, row.Shed = ps.pending, ps.inFlight, ps.shed
 			row.Epoch, row.Role, row.ReplicationLag = ps.epoch, ps.role, ps.lag

@@ -18,8 +18,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -67,6 +69,9 @@ func (c Config) withDefaults() Config {
 // Result is a load run's measurement, JSON-ready for the BENCH
 // trajectory.
 type Result struct {
+	// Name labels the run when several measurements share one BENCH file
+	// (e.g. "gray-failure, breakers off"). Set by the caller, not by Run.
+	Name        string `json:"name,omitempty"`
 	Target      string `json:"target"`
 	Concurrency int    `json:"concurrency"`
 
@@ -77,9 +82,17 @@ type Result struct {
 	// Late counts 409 replies — arrivals behind the commit horizon.
 	Late int `json:"late"`
 	// Errors counts transport failures and unexpected statuses.
-	Errors       int      `json:"errors"`
-	ErrorSamples []string `json:"error_samples,omitempty"`
-	ShedRate     float64  `json:"shed_rate"`
+	// ErrorsByCause partitions them: "timeout" (deadline blown),
+	// "connection" (transport death), "5xx" (server/gateway failure
+	// replies), "status_NNN" (other unexpected statuses). Sheds and lates
+	// are protocol answers, counted in their own fields, not here.
+	Errors        int            `json:"errors"`
+	ErrorsByCause map[string]int `json:"errors_by_cause,omitempty"`
+	ErrorSamples  []string       `json:"error_samples,omitempty"`
+	ShedRate      float64        `json:"shed_rate"`
+	// Availability is accepted/submitted — the fraction of offered load
+	// that came back with a 202.
+	Availability float64 `json:"availability"`
 
 	ElapsedMS      int64   `json:"elapsed_ms"`
 	AcceptedPerSec float64 `json:"accepted_per_sec"`
@@ -126,6 +139,31 @@ type worker struct {
 	latencies                               []time.Duration
 	errSamples                              []string
 	shards                                  map[string]int
+	causes                                  map[string]int
+}
+
+// causeOf buckets a transport-level submit failure. Timeouts (the
+// request deadline blew, wherever it was spent) are separated from
+// connection-level death so a chaos run can tell gray failure from hard
+// partition in the report.
+func causeOf(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	return "connection"
+}
+
+// causeOfStatus buckets an unexpected reply status: all 5xx fold into
+// one cause (server or gateway failing), anything else keeps its code.
+func causeOfStatus(code int) string {
+	if code >= 500 {
+		return "5xx"
+	}
+	return fmt.Sprintf("status_%d", code)
 }
 
 // Run replays the trace against cfg.Target and reports the measurement.
@@ -179,6 +217,7 @@ func Run(ctx context.Context, cfg Config, trace workload.TraceReader) (*Result, 
 		go func(w *worker) {
 			defer wg.Done()
 			w.shards = make(map[string]int)
+			w.causes = make(map[string]int)
 			for req := range feed {
 				submit(ctx, cfg, client, adv, w, req)
 				if ctx.Err() != nil {
@@ -204,6 +243,7 @@ func Run(ctx context.Context, cfg Config, trace workload.TraceReader) (*Result, 
 		Concurrency:   cfg.Concurrency,
 		ElapsedMS:     elapsed.Milliseconds(),
 		ShardRouted:   make(map[string]int),
+		ErrorsByCause: make(map[string]int),
 		Advances:      adv.count,
 		AdvanceErrors: adv.errors,
 		MaxShardLagMS: adv.maxLagMS,
@@ -222,6 +262,9 @@ func Run(ctx context.Context, cfg Config, trace workload.TraceReader) (*Result, 
 		for s, n := range w.shards {
 			res.ShardRouted[s] += n
 		}
+		for c, n := range w.causes {
+			res.ErrorsByCause[c] += n
+		}
 		for _, e := range w.errSamples {
 			if len(res.ErrorSamples) < 5 {
 				res.ErrorSamples = append(res.ErrorSamples, e)
@@ -232,8 +275,12 @@ func Run(ctx context.Context, cfg Config, trace workload.TraceReader) (*Result, 
 	if len(res.ShardRouted) == 0 {
 		res.ShardRouted = nil
 	}
+	if len(res.ErrorsByCause) == 0 {
+		res.ErrorsByCause = nil
+	}
 	if res.Submitted > 0 {
 		res.ShedRate = float64(res.Shed) / float64(res.Submitted)
+		res.Availability = float64(res.Accepted) / float64(res.Submitted)
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.AcceptedPerSec = float64(res.Accepted) / secs
@@ -258,6 +305,7 @@ func submit(ctx context.Context, cfg Config, client *http.Client, adv *advancer,
 	took := time.Since(t0)
 	if err != nil {
 		w.errors++
+		w.causes[causeOf(err)]++
 		w.sample(err.Error())
 		return
 	}
@@ -285,6 +333,7 @@ func submit(ctx context.Context, cfg Config, client *http.Client, adv *advancer,
 		w.late++
 	default:
 		w.errors++
+		w.causes[causeOfStatus(resp.StatusCode)]++
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
 		w.sample(fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b)))
 	}

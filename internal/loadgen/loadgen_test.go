@@ -2,8 +2,10 @@ package loadgen_test
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -77,6 +79,12 @@ func TestRunSingleServer(t *testing.T) {
 	}
 	if res.Submit.N != n || res.Submit.P50 <= 0 || res.Submit.Max < res.Submit.P99 {
 		t.Fatalf("latency summary inconsistent: %+v", res.Submit)
+	}
+	if want := float64(res.Accepted) / float64(n); res.Availability != want {
+		t.Fatalf("availability %v, want %v", res.Availability, want)
+	}
+	if res.ErrorsByCause != nil {
+		t.Fatalf("clean run reported error causes: %v", res.ErrorsByCause)
 	}
 	if res.Advances == 0 {
 		t.Fatal("epoch trigger never drove an advance")
@@ -184,6 +192,50 @@ func TestRunCountsShedding(t *testing.T) {
 	}
 	if res.Advances != 0 {
 		t.Fatalf("advance driven despite DisableAdvance: %d", res.Advances)
+	}
+}
+
+// Error accounting partitions by cause: blown deadlines, connection
+// death, and 5xx replies land in separate buckets of ErrorsByCause.
+func TestRunPartitionsErrorCauses(t *testing.T) {
+	rig := testRig(t)
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		switch n := calls.Add(1); {
+		case n <= 3: // outlive the client's deadline
+			time.Sleep(300 * time.Millisecond)
+			w.WriteHeader(http.StatusAccepted)
+		case n <= 6: // tear the connection down mid-exchange
+			panic(http.ErrAbortHandler)
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	pr := workload.NewPatternReader(rig.Topo, rig.Catalog, tracePattern(9), 0)
+	defer pr.Close()
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:         ts.URL,
+		Concurrency:    1, // serialize so the handler's phases are deterministic
+		Timeout:        60 * time.Millisecond,
+		DisableAdvance: true,
+	}, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 9 || res.Accepted != 0 {
+		t.Fatalf("error accounting: %+v", res)
+	}
+	want := map[string]int{"timeout": 3, "connection": 3, "5xx": 3}
+	for cause, n := range want {
+		if res.ErrorsByCause[cause] != n {
+			t.Fatalf("errors_by_cause = %v, want %v", res.ErrorsByCause, want)
+		}
+	}
+	if res.Availability != 0 {
+		t.Fatalf("availability %v with zero accepted", res.Availability)
 	}
 }
 

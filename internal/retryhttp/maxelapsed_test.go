@@ -1,0 +1,109 @@
+package retryhttp_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/vodsim/vsp/internal/chaos"
+	"github.com/vodsim/vsp/internal/retryhttp"
+)
+
+// A flapping peer that answers every attempt slowly-but-retryably can
+// stretch a MaxAttempts-only loop far past the caller's deadline. The
+// elapsed budget must stop the loop and surface the terminal answer.
+func TestMaxElapsedBoundsSlowRetryableAnswers(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Fatal("chaos should answer before the backend")
+	}))
+	defer ts.Close()
+
+	// Every call costs 10ms and comes back 502: individually retryable,
+	// collectively unbounded without an elapsed budget.
+	inj := chaos.New(11, chaos.Rule{Fault: chaos.Fault{
+		LatencyMin: 10 * time.Millisecond,
+		LatencyMax: 10 * time.Millisecond,
+		ErrProb:    1,
+		Code:       http.StatusBadGateway,
+	}})
+	opts := retryhttp.Options{
+		Client:      &http.Client{Transport: &chaos.Transport{Injector: inj}},
+		MaxAttempts: 100,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		MaxElapsed:  150 * time.Millisecond,
+	}
+
+	start := time.Now()
+	err := retryhttp.GetJSON(context.Background(), opts, ts.URL, nil)
+	elapsed := time.Since(start)
+
+	var se *retryhttp.StatusError
+	if !asStatusError(err, &se) || se.Code != http.StatusBadGateway {
+		t.Fatalf("want terminal 502 StatusError, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("budget 150ms, loop ran %v", elapsed)
+	}
+	if calls := inj.Stats().Calls; calls >= 100 {
+		t.Fatalf("budget did not cut attempts short: %d calls", calls)
+	}
+}
+
+// When every attempt dies at the transport layer, exhausting the budget
+// must return an error naming it (there is no response to hand back).
+func TestMaxElapsedBoundsTransportErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	inj := chaos.New(12, chaos.Rule{Fault: chaos.Fault{Drop: 1}})
+	opts := retryhttp.Options{
+		Client:      &http.Client{Transport: &chaos.Transport{Injector: inj}},
+		MaxAttempts: 1000,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		MaxElapsed:  100 * time.Millisecond,
+	}
+
+	start := time.Now()
+	err := retryhttp.GetJSON(context.Background(), opts, ts.URL, nil)
+	if err == nil || !strings.Contains(err.Error(), "elapsed budget") {
+		t.Fatalf("want elapsed-budget error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budget 100ms, loop ran %v", elapsed)
+	}
+	if calls := inj.Stats().Calls; calls >= 1000 {
+		t.Fatalf("budget did not cut attempts short: %d calls", calls)
+	}
+}
+
+// Without a budget the loop still runs to MaxAttempts — the zero value
+// keeps the old behavior.
+func TestZeroMaxElapsedKeepsAttemptSemantics(t *testing.T) {
+	inj := chaos.New(13, chaos.Rule{Fault: chaos.Fault{Drop: 1}})
+	opts := retryhttp.Options{
+		Client:      &http.Client{Transport: &chaos.Transport{Injector: inj}},
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+	}
+	err := retryhttp.GetJSON(context.Background(), opts, "http://127.0.0.1:0/", nil)
+	if err == nil || !strings.Contains(err.Error(), "4 attempts failed") {
+		t.Fatalf("want attempts-exhausted error, got %v", err)
+	}
+	if calls := inj.Stats().Calls; calls != 4 {
+		t.Fatalf("want 4 attempts, injector saw %d", calls)
+	}
+}
+
+func asStatusError(err error, out **retryhttp.StatusError) bool {
+	se, ok := err.(*retryhttp.StatusError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
